@@ -1,0 +1,71 @@
+// Pluggable-learner comparison (§4.2: "ACIC is implemented in the way
+// that different learning algorithms can be easily plugged in").  Trains
+// CART, a bagged forest, kNN and a linear baseline on the same database
+// and compares the measured quality of their picks across the nine
+// evaluation runs.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "acic/common/table.hpp"
+#include "acic/ml/forest.hpp"
+#include "acic/ml/knn.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace acic;
+
+  const auto& gt = benchsup::ground_truth();
+  const auto& db = benchsup::training_db(12, 1200);
+
+  struct Entry {
+    const char* name;
+    core::Acic::LearnerFactory factory;
+  };
+  const Entry learners[] = {
+      {"CART", nullptr},
+      {"forest", [] { return std::make_unique<ml::ForestRegressor>(); }},
+      {"kNN", [] { return std::make_unique<ml::KnnRegressor>(7); }},
+      {"linear", [] { return std::make_unique<ml::LinearRegressor>(); }},
+  };
+
+  for (auto objective :
+       {core::Objective::kPerformance, core::Objective::kCost}) {
+    TextTable table({"learner", "avg improvement vs median",
+                     "avg improvement vs baseline", "worst-case run"});
+    for (const auto& entry : learners) {
+      core::Acic acic(db, objective, entry.factory);
+      double m_sum = 0.0, b_sum = 0.0, worst = 1e300;
+      int n = 0;
+      for (const auto& run : apps::evaluation_suite()) {
+        const auto& ms = gt.at(benchsup::app_key(run.app, run.scale));
+        const auto pick = benchsup::measured_top_choice(acic, run, objective);
+        const double v = benchsup::value_of(pick, objective);
+        const double med = objective == core::Objective::kPerformance
+                               ? benchsup::median_time(ms)
+                               : benchsup::median_cost(ms);
+        const double base =
+            benchsup::value_of(benchsup::baseline(ms), objective);
+        m_sum += med / v;
+        b_sum += base / v;
+        worst = std::min(worst, base / v);
+        ++n;
+      }
+      table.add_row({entry.name, TextTable::num(m_sum / n, 2) + "x",
+                     TextTable::num(b_sum / n, 2) + "x",
+                     TextTable::num(worst, 2) + "x"});
+    }
+    std::printf("=== pluggable learners, %s objective ===\n\n%s\n",
+                core::to_string(objective), table.to_string().c_str());
+  }
+  std::printf(
+      "Reading: the bagged forest is the strongest and most stable pick\n"
+      "(single CART carries noticeable variance on a sparse database —\n"
+      "compare the worst-case column).  kNN and even the linear baseline\n"
+      "do respectably on *top-1 selection*: improvement is broadly\n"
+      "monotone in server count and device class, so coarse models can\n"
+      "still point at a good corner even when their absolute predictions\n"
+      "are poor.  The paper's choice of CART optimises interpretability\n"
+      "(Fig. 4), not worst-case pick quality.\n");
+  return 0;
+}

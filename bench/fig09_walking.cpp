@@ -1,0 +1,88 @@
+// Figure 9: comparing the three prediction approaches — random walk
+// (10 random dimension orders, with min/max spread), PB-guided space
+// walking, and the CART model — by cost saving under the baseline.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "acic/common/rng.hpp"
+#include "acic/common/table.hpp"
+#include "acic/core/walker.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace acic;
+
+  const auto& gt = benchsup::ground_truth();
+  const auto& ranking = benchsup::pb_ranking();
+  const auto pb_order =
+      core::SpaceWalker::system_dims_ranked(ranking.importance);
+  const auto& db = benchsup::training_db(12, 1200);
+  core::Acic acic(db, core::Objective::kCost);
+
+  TextTable table({"App", "NP", "random walk (min..max)", "PB walk",
+                   "CART"});
+  for (const auto& run : apps::evaluation_suite()) {
+    const auto& ms = gt.at(benchsup::app_key(run.app, run.scale));
+    const double base = benchsup::baseline(ms).cost;
+    auto saving = [&](double cost) {
+      return 100.0 * (base - cost) / base;
+    };
+    // Walk probes are application-shaped test runs: ground-truth value
+    // plus multi-tenant re-measurement noise (a walker sees each config
+    // once; the CART model averages noise over its training set — the
+    // asymmetry the paper's comparison is about).  The true (noise-free)
+    // measurement scores the final pick.
+    auto noisy_probe = [&](std::uint64_t trial) {
+      return [&, trial](const cloud::IoConfig& cfg) {
+        Rng noise(trial * 7919 +
+                  std::hash<std::string>{}(cfg.label()));
+        return benchsup::find_measurement(ms, cfg.label()).cost *
+               noise.lognormal_jitter(0.06);
+      };
+    };
+    auto truth_of = [&](const cloud::IoConfig& cfg) {
+      return benchsup::find_measurement(ms, cfg.label()).cost;
+    };
+
+    double rw_min = 1e300, rw_max = -1e300, rw_sum = 0.0;
+    const int kRandomTrials = 10;
+    for (int t = 0; t < kRandomTrials; ++t) {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      const auto r =
+          core::SpaceWalker::random_walk(noisy_probe(400 + t), rng);
+      const double s = saving(truth_of(r.best));
+      rw_min = std::min(rw_min, s);
+      rw_max = std::max(rw_max, s);
+      rw_sum += s;
+    }
+    auto pb = core::SpaceWalker::walk(noisy_probe(1), pb_order);
+    pb.best_measure = truth_of(pb.best);
+    const double cart_cost =
+        benchsup::measured_top_choice(acic, run, core::Objective::kCost)
+            .cost;
+
+    table.add_row(
+        {run.app, std::to_string(run.scale),
+         TextTable::num(rw_sum / kRandomTrials, 0) + "% (" +
+             TextTable::num(rw_min, 0) + ".." + TextTable::num(rw_max, 0) +
+             "%)",
+         TextTable::num(saving(pb.best_measure), 0) + "%",
+         TextTable::num(saving(cart_cost), 0) + "%"});
+  }
+  std::printf(
+      "=== Figure 9: random walk vs PB-guided walk vs CART ===\n"
+      "(cost saving under the baseline configuration)\n\n%s\n",
+      table.to_string().c_str());
+  std::printf(
+      "Expected shape (paper): CART best and most consistent; PB-guided\n"
+      "walking close behind; random walking inferior and erratic (wide\n"
+      "min..max spread).\n"
+      "Measured nuance: with probes that run the *actual application*,\n"
+      "PB-guided walking is extremely competitive -- but each query spends\n"
+      "~10-15 fresh application runs, while the CART answer costs nothing\n"
+      "beyond the shared, reusable IOR database.  Random ordering remains\n"
+      "erratic, which is the paper's point about PB guidance.\n");
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "support.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <mutex>
+
+#include "acic/common/csv.hpp"
+#include "acic/common/error.hpp"
+#include "acic/common/stats.hpp"
+#include "acic/io/runner.hpp"
+
+namespace acic::benchsup {
+
+namespace {
+
+constexpr std::uint64_t kMeasureSeed = 42;
+
+std::filesystem::path cache_dir() {
+  const std::filesystem::path dir = "acic_bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+io::RunOptions measure_opts(std::uint64_t salt) {
+  io::RunOptions o;
+  o.seed = kMeasureSeed ^ salt;
+  return o;
+}
+
+std::uint64_t label_salt(const std::string& label) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+core::TrainingStats g_last_stats;
+
+}  // namespace
+
+std::string app_key(const std::string& app, int scale) {
+  return app + "/" + std::to_string(scale);
+}
+
+Measurement measure(const apps::AppRun& run, const cloud::IoConfig& config) {
+  const auto& gt = ground_truth();
+  const auto it = gt.find(app_key(run.app, run.scale));
+  if (it != gt.end()) {
+    for (const auto& m : it->second) {
+      if (m.label == config.label()) return m;
+    }
+  }
+  const auto r = io::run_workload(run.workload, config,
+                                  measure_opts(label_salt(config.label())));
+  return Measurement{config.label(), r.total_time, r.cost};
+}
+
+const std::map<std::string, std::vector<Measurement>>& ground_truth() {
+  static std::map<std::string, std::vector<Measurement>> cache;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto path = cache_dir() / "ground_truth.csv";
+    if (std::filesystem::exists(path)) {
+      const auto table = read_csv_file(path.string());
+      for (const auto& row : table.rows) {
+        cache[row[0]].push_back(
+            Measurement{row[1], std::stod(row[2]), std::stod(row[3])});
+      }
+      std::fprintf(stderr, "[bench] ground truth loaded from %s\n",
+                   path.string().c_str());
+      return;
+    }
+    std::fprintf(stderr,
+                 "[bench] measuring ground truth (9 app runs x 56 candidate"
+                 " configs)...\n");
+    const auto candidates = cloud::IoConfig::enumerate_candidates();
+    for (const auto& run : apps::evaluation_suite()) {
+      auto& list = cache[app_key(run.app, run.scale)];
+      for (const auto& cfg : candidates) {
+        const auto r = io::run_workload(
+            run.workload, cfg, measure_opts(label_salt(cfg.label())));
+        list.push_back(Measurement{cfg.label(), r.total_time, r.cost});
+      }
+    }
+    CsvTable table;
+    table.header = {"app", "config", "time_s", "cost_usd"};
+    char buf[64];
+    for (const auto& [key, list] : cache) {
+      for (const auto& m : list) {
+        std::vector<std::string> row = {key, m.label};
+        std::snprintf(buf, sizeof(buf), "%.17g", m.time);
+        row.emplace_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.17g", m.cost);
+        row.emplace_back(buf);
+        table.rows.push_back(std::move(row));
+      }
+    }
+    write_csv_file(path.string(), table);
+  });
+  return cache;
+}
+
+const core::PbRankingResult& pb_ranking() {
+  static core::PbRankingResult result;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto path = cache_dir() / "pb_response.csv";
+    if (std::filesystem::exists(path)) {
+      const auto table = read_csv_file(path.string());
+      std::vector<double> response;
+      for (const auto& row : table.rows) response.push_back(std::stod(row[0]));
+      const int runs = core::PbDesign::runs_for(core::kNumDims);
+      result.design = core::PbDesign::foldover(runs);
+      if (response.size() == result.design.size()) {
+        result.response = response;
+        // Same log-response screening as run_pb_ranking's default.
+        std::vector<double> screening = response;
+        for (double& r : screening) r = std::log(std::max(r, 1e-9));
+        result.effects = core::PbDesign::effects(result.design, screening,
+                                                 core::kNumDims);
+        result.importance = core::PbDesign::ranking(result.effects);
+        result.rank_of_each = core::PbDesign::rank_of_each(result.effects);
+        std::fprintf(stderr, "[bench] PB screening loaded from cache\n");
+        return;
+      }
+    }
+    std::fprintf(stderr, "[bench] running PB screening (32 IOR runs)...\n");
+    result = core::run_pb_ranking();
+    CsvTable table;
+    table.header = {"response"};
+    char buf[64];
+    for (double r : result.response) {
+      std::snprintf(buf, sizeof(buf), "%.17g", r);
+      table.rows.push_back({buf});
+    }
+    write_csv_file(path.string(), table);
+  });
+  return result;
+}
+
+const core::TrainingDatabase& training_db(int top_dims,
+                                          std::size_t max_samples,
+                                          std::uint64_t seed) {
+  static std::map<std::string, core::TrainingDatabase> dbs;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  const std::string key = std::to_string(top_dims) + "_" +
+                          std::to_string(max_samples) + "_" +
+                          std::to_string(seed);
+  auto it = dbs.find(key);
+  if (it != dbs.end()) return it->second;
+
+  const auto path = cache_dir() / ("training_db_" + key + ".csv");
+  if (std::filesystem::exists(path)) {
+    g_last_stats = core::TrainingStats{};
+    auto [ins, ok] =
+        dbs.emplace(key, core::TrainingDatabase::load(path.string()));
+    std::fprintf(stderr, "[bench] training db %s loaded from cache (%zu)\n",
+                 key.c_str(), ins->second.size());
+    return ins->second;
+  }
+  std::fprintf(stderr,
+               "[bench] collecting training db (top %d dims, <=%zu "
+               "samples)...\n",
+               top_dims, max_samples);
+  core::TrainingDatabase db;
+  core::TrainingPlan plan;
+  plan.dim_order = pb_ranking().importance;
+  plan.top_dims = top_dims;
+  plan.max_samples = max_samples;
+  plan.seed = seed;
+  g_last_stats = core::collect_training_data(db, plan);
+  db.save(path.string());
+  auto [ins, ok] = dbs.emplace(key, std::move(db));
+  return ins->second;
+}
+
+core::TrainingStats last_training_stats() { return g_last_stats; }
+
+const Measurement& find_measurement(const std::vector<Measurement>& ms,
+                                    const std::string& label) {
+  for (const auto& m : ms) {
+    if (m.label == label) return m;
+  }
+  throw Error("no measurement for config " + label);
+}
+
+double median_time(const std::vector<Measurement>& ms) {
+  std::vector<double> v;
+  for (const auto& m : ms) v.push_back(m.time);
+  return median_of(v);
+}
+
+double median_cost(const std::vector<Measurement>& ms) {
+  std::vector<double> v;
+  for (const auto& m : ms) v.push_back(m.cost);
+  return median_of(v);
+}
+
+const Measurement& best_time(const std::vector<Measurement>& ms) {
+  return *std::min_element(ms.begin(), ms.end(),
+                           [](const Measurement& a, const Measurement& b) {
+                             return a.time < b.time;
+                           });
+}
+
+const Measurement& best_cost(const std::vector<Measurement>& ms) {
+  return *std::min_element(ms.begin(), ms.end(),
+                           [](const Measurement& a, const Measurement& b) {
+                             return a.cost < b.cost;
+                           });
+}
+
+const Measurement& baseline(const std::vector<Measurement>& ms) {
+  return find_measurement(ms, cloud::IoConfig::baseline().label());
+}
+
+double value_of(const Measurement& m, core::Objective objective) {
+  return objective == core::Objective::kPerformance ? m.time : m.cost;
+}
+
+Measurement measured_top_choice(const core::Acic& acic,
+                                const apps::AppRun& run,
+                                core::Objective objective) {
+  const auto recs = acic.recommend(run.workload, 0);  // all, sorted
+  ACIC_CHECK(!recs.empty());
+  const double top = recs.front().predicted_improvement;
+  std::vector<Measurement> champions;
+  for (const auto& r : recs) {
+    if (r.predicted_improvement < top - 1e-9) break;
+    champions.push_back(measure(run, r.config));
+  }
+  std::sort(champions.begin(), champions.end(),
+            [&](const Measurement& a, const Measurement& b) {
+              return value_of(a, objective) < value_of(b, objective);
+            });
+  return champions[champions.size() / 2];
+}
+
+double best_measured_of_topk(const core::Acic& acic,
+                             const apps::AppRun& run, std::size_t k,
+                             core::Objective objective) {
+  const auto recs = acic.recommend(run.workload, k);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& rec : recs) {
+    best = std::min(best, value_of(measure(run, rec.config), objective));
+  }
+  return best;
+}
+
+}  // namespace acic::benchsup

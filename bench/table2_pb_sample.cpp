@@ -1,0 +1,44 @@
+// Table 2: the paper's worked Plackett–Burman example — N = 5 parameters
+// screened with N' = 8 runs.  We regenerate the same cyclic design,
+// apply the paper's published per-run performance numbers, and must get
+// the paper's exact effects (40, 4, 48, 152, 28) and ranks (3 5 2 1 4).
+#include <cstdio>
+#include <vector>
+
+#include "acic/common/table.hpp"
+#include "acic/core/pbdesign.hpp"
+
+int main() {
+  using namespace acic;
+
+  const auto design = core::PbDesign::matrix(8);
+  // Performance column from the paper's Table 2.
+  const std::vector<double> response = {19, 21, 2, 11, 72, 100, 8, 3};
+  const auto effects = core::PbDesign::effects(design, response, 5);
+  const auto ranks = core::PbDesign::rank_of_each(effects);
+
+  TextTable table({"row", "A", "B", "C", "D", "E", "Perf."});
+  for (std::size_t r = 0; r < design.size(); ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (int c = 0; c < 5; ++c) {
+      row.push_back(design[r][size_t(c)] > 0 ? "+1" : "-1");
+    }
+    row.push_back(TextTable::num(response[r], 0));
+    table.add_row(row);
+  }
+  std::vector<std::string> eff_row = {"Effect"};
+  std::vector<std::string> rank_row = {"Rank"};
+  for (int c = 0; c < 5; ++c) {
+    eff_row.push_back(TextTable::num(std::abs(effects[size_t(c)]), 0));
+    rank_row.push_back(std::to_string(ranks[size_t(c)]));
+  }
+  eff_row.push_back("");
+  rank_row.push_back("");
+  table.add_row(eff_row);
+  table.add_row(rank_row);
+
+  std::printf("=== Table 2: sample PB design (N = 5, N' = 8) ===\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("paper: effects 40 4 48 152 28, ranks 3 5 2 1 4\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 4: the measured-optimal performance configuration for each of
+// the nine application executions, from exhaustive evaluation of all 56
+// candidates — the paper's "no one-size-fits-all" evidence.
+#include <cstdio>
+#include <set>
+
+#include "acic/common/table.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace acic;
+
+  const auto& gt = benchsup::ground_truth();
+
+  TextTable table({"Application", "NP", "optimal config", "time",
+                   "2nd-best x", "co-optimal (<=5%)", "NFS co-opt?"});
+  std::set<std::string> unique_optima;
+  for (const auto& run : apps::evaluation_suite()) {
+    const auto& ms = gt.at(benchsup::app_key(run.app, run.scale));
+    const auto& best = benchsup::best_time(ms);
+    double second = 1e300;
+    int co_optimal = 0;
+    bool nfs_co_optimal = false;
+    for (const auto& m : ms) {
+      if (m.label != best.label && m.time < second) second = m.time;
+      if (m.time <= best.time * 1.05) {
+        ++co_optimal;
+        if (m.label.rfind("nfs", 0) == 0) nfs_co_optimal = true;
+      }
+    }
+    unique_optima.insert(best.label);
+    table.add_row({run.app, std::to_string(run.scale), best.label,
+                   format_time(best.time),
+                   TextTable::num(second / best.time, 2),
+                   std::to_string(co_optimal),
+                   nfs_co_optimal ? "yes" : "no"});
+  }
+  std::printf("=== Table 4: optimal performance configurations ===\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("unique strict optima across the 9 runs: %zu (paper: 7)\n",
+              unique_optima.size());
+  std::printf(
+      "Expected shape (paper): several distinct optima; NFS wins for the\n"
+      "small-write runs, multi-server PVFS2 over ephemeral disks for the\n"
+      "data-heavy ones.  Our simulator's optima come in near-tie sets (see\n"
+      "the 2nd-best and co-optimal columns): the NFS setups are co-optimal\n"
+      "exactly for the small-write runs, and on real multi-tenant hardware\n"
+      "those near-ties break arbitrarily — which is plausibly where the\n"
+      "paper's 7-of-9 distinct winners come from.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The ACIC query front end — a realisation of the paper's planned
+// "web-based query service" as a line-oriented tool.
+//
+// Usage:
+//   example_acic_query_tool [training_db.csv] [--demo]
+//
+// With a CSV argument the service answers from that shared database
+// (e.g. the artifact written by example_crowdsourced_training); without
+// one it bootstraps a fresh database on the simulated cloud.  Lines read
+// from stdin are protocol requests ("help" lists them); --demo (or a
+// closed stdin) runs a scripted session instead.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "acic/core/ranking.hpp"
+#include "acic/service/query_service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acic;
+
+  std::string db_path;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else {
+      db_path = arg;
+    }
+  }
+
+  std::fprintf(stderr, "[service] PB screening...\n");
+  auto ranking = core::run_pb_ranking();
+
+  core::TrainingDatabase db;
+  if (!db_path.empty()) {
+    db = core::TrainingDatabase::load(db_path);
+    std::fprintf(stderr, "[service] loaded %zu shared samples from %s\n",
+                 db.size(), db_path.c_str());
+  } else {
+    std::fprintf(stderr, "[service] bootstrapping training database...\n");
+    core::TrainingPlan plan;
+    plan.dim_order = ranking.importance;
+    plan.top_dims = 12;
+    plan.max_samples = 300;
+    core::collect_training_data(db, plan);
+  }
+
+  service::QueryService service(std::move(db), std::move(ranking));
+
+  const char* kDemo[] = {
+      "stats",
+      "rank top=5",
+      "recommend objective=performance top_k=3 np=256 io_procs=256 "
+      "interface=MPI-IO iterations=40 data=4MiB request=4MiB op=write "
+      "collective=yes shared=yes",
+      "recommend objective=cost top_k=3 np=64 io_procs=64 "
+      "interface=POSIX iterations=1 data=1344MiB request=1MiB op=read "
+      "shared=no",
+      "predict config=pvfs.4.D.eph.4M np=64 io_procs=64 interface=MPI-IO "
+      "iterations=2 data=256MiB request=64MiB op=read+write shared=yes",
+      "recommend objective=speed",  // deliberate error
+  };
+
+  if (demo) {
+    for (const char* line : kDemo) {
+      std::printf("> %s\n%s", line, service.handle(line).c_str());
+    }
+    return 0;
+  }
+
+  std::printf("ACIC query service ready — type 'help' for commands.\n");
+  std::string line;
+  bool any = false;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    any = true;
+    std::fputs(service.handle(line).c_str(), stdout);
+    std::fflush(stdout);
+  }
+  if (!any) {
+    // Closed stdin (e.g. launched from a script): show the demo session.
+    for (const char* l : kDemo) {
+      std::printf("> %s\n%s", l, service.handle(l).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Checkpoint-cadence what-if study (the FLASHIO scenario from the
+// paper's introduction): an astrophysics code writes periodic HDF5
+// checkpoints, and the right cloud I/O setup changes with how much and
+// how often it writes.
+//
+// This example sweeps checkpoint volume and cadence and, for each cell,
+// asks the simulated cloud which of three natural setups wins — the
+// common NFS-over-EBS baseline, an NFS server on local disks, or a
+// 4-server PVFS2 array — printing the winner and its margin.  It shows
+// the "no one-size-fits-all" effect of Figure 1 on a concrete scenario.
+#include <cstdio>
+#include <vector>
+
+#include "acic/apps/apps.hpp"
+#include "acic/common/table.hpp"
+#include "acic/io/runner.hpp"
+
+int main() {
+  using namespace acic;
+
+  cloud::IoConfig nfs_ebs = cloud::IoConfig::baseline();  // nfs.D.ebs
+  cloud::IoConfig nfs_eph = nfs_ebs;
+  nfs_eph.device = storage::DeviceType::kEphemeral;
+  cloud::IoConfig pvfs4;
+  pvfs4.fs = cloud::FileSystemType::kPvfs2;
+  pvfs4.device = storage::DeviceType::kEphemeral;
+  pvfs4.io_servers = 4;
+  pvfs4.placement = cloud::Placement::kDedicated;
+  pvfs4.stripe_size = 4.0 * MiB;
+  const std::vector<cloud::IoConfig> setups = {nfs_ebs, nfs_eph, pvfs4};
+
+  TextTable table({"checkpoint", "every", "winner", "time", "runner-up x"});
+  for (double checkpoint_gb : {2.0, 15.0, 60.0}) {
+    for (int dumps : {1, 5, 20}) {
+      io::Workload w = apps::flashio(256);
+      w.iterations = dumps;
+      w.data_size = checkpoint_gb * GiB / 256.0;
+      // Keep the same total solver time regardless of cadence.
+      w.compute_per_iteration = 320.0 / (256.0 * dumps) + 30.0 / dumps;
+      w.normalize();
+
+      double best = 1e30, second = 1e30;
+      std::string winner;
+      for (const auto& cfg : setups) {
+        io::RunOptions opts;
+        opts.seed = 7;
+        const auto r = io::run_workload(w, cfg, opts);
+        if (r.total_time < best) {
+          second = best;
+          best = r.total_time;
+          winner = cfg.label();
+        } else if (r.total_time < second) {
+          second = r.total_time;
+        }
+      }
+      table.add_row({format_bytes(checkpoint_gb * GiB),
+                     std::to_string(dumps) + " dumps", winner,
+                     format_time(best),
+                     TextTable::num(second / best, 2) + "x"});
+    }
+  }
+  std::printf("FLASH-style checkpoint tuning on the simulated cloud\n");
+  std::printf("(winner per cell among nfs.D.ebs / nfs.D.eph / pvfs.4.D)\n\n");
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nThe runner-up margin is the story: for small or infrequent\n"
+      "checkpoints the NFS server's RAM write-back makes the cheap setup\n"
+      "a statistical tie with the 4-server array (~1.0x), so paying for\n"
+      "dedicated PVFS2 instances is wasted money; at 60 GiB x 20 dumps\n"
+      "only aggregate PVFS2 bandwidth keeps up (~2x) — Figure 1's\n"
+      "no-one-size-fits-all effect on a what-if grid.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Sizing a genomics read-farm (the mpiBLAST scenario): an 84 GB sequence
+// database is scanned by N worker processes over POSIX file-per-process
+// I/O.  For each worker count this example walks the configuration space
+// with the PB-guided greedy walker — the mode ACIC offers before any
+// training database exists — and reports the chosen setup, its runtime,
+// its cost, and how many probe runs the walk spent (vs 56 candidates for
+// exhaustive search).  The walk iterates to convergence (coordinate
+// descent) so a poorly-ordered first pass cannot strand it in a local
+// optimum.
+#include <cstdio>
+
+#include "acic/apps/apps.hpp"
+#include "acic/common/table.hpp"
+#include "acic/core/ranking.hpp"
+#include "acic/core/walker.hpp"
+#include "acic/io/runner.hpp"
+
+int main() {
+  using namespace acic;
+
+  std::printf("PB screening to order the walk (32 IOR runs)...\n");
+  const auto ranking = core::run_pb_ranking();
+  const auto order = core::SpaceWalker::system_dims_ranked(
+      ranking.importance);
+
+  TextTable table({"workers", "objective", "chosen config", "time", "cost",
+                   "probes"});
+  for (int workers : {32, 64, 128}) {
+    const auto traits = apps::mpiblast(workers);
+    for (auto objective :
+         {core::Objective::kPerformance, core::Objective::kCost}) {
+      // Probe = run an mpiBLAST-shaped job on the candidate; the walker
+      // pays for each probe, so fewer probes = cheaper tuning.
+      auto probe = [&](const cloud::IoConfig& cfg) {
+        io::RunOptions opts;
+        opts.seed = 13;
+        const auto r = io::run_workload(traits, cfg, opts);
+        return objective == core::Objective::kPerformance ? r.total_time
+                                                          : r.cost;
+      };
+      const auto walk =
+          core::SpaceWalker::walk_converged(probe, order, /*max_passes=*/3);
+      const auto final_run = io::run_workload(traits, walk.best);
+      table.add_row({std::to_string(workers), core::to_string(objective),
+                     walk.best.label(), format_time(final_run.total_time),
+                     format_money(final_run.cost),
+                     std::to_string(walk.probes)});
+    }
+  }
+  std::printf("\nmpiBLAST-style read-farm sizing via PB-guided walking\n\n%s",
+              table.to_string().c_str());
+  std::printf(
+      "\nThe walk needs ~15 probe runs instead of 56 exhaustive ones, and\n"
+      "the performance pick differs from the cost pick — the paper's\n"
+      "cost/performance divergence in action.\n");
+  return 0;
+}

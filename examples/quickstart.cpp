@@ -1,0 +1,59 @@
+// Quickstart: configure a cloud I/O system for an HPC application in a
+// few lines.
+//
+//   1. rank the exploration-space dimensions with a 32-run PB screening,
+//   2. bootstrap the training database with IOR runs on the simulated
+//      cloud,
+//   3. ask ACIC for the best configuration for MADbench2 at 256 processes,
+//   4. verify the recommendation by "running" MADbench2 under it.
+//
+// Build & run:  cmake --build build && ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "acic/apps/apps.hpp"
+#include "acic/core/predictor.hpp"
+#include "acic/core/ranking.hpp"
+#include "acic/io/runner.hpp"
+
+int main() {
+  using namespace acic;
+
+  // --- 1. Screen the 15 dimensions (32 foldover-PB IOR runs). ---------
+  std::printf("[1/4] PB screening (32 IOR runs)...\n");
+  const auto ranking = core::run_pb_ranking();
+
+  // --- 2. Bootstrap the training database on the top dimensions. ------
+  std::printf("[2/4] collecting training data...\n");
+  core::TrainingDatabase db;
+  core::TrainingPlan plan;
+  plan.dim_order = ranking.importance;
+  plan.top_dims = 12;
+  plan.max_samples = 400;
+  const auto stats = core::collect_training_data(db, plan);
+  std::printf("      %zu runs, %s simulated EC2 spend\n", stats.runs,
+              format_money(stats.money).c_str());
+
+  // --- 3. Recommend a configuration for MADbench2-256. ----------------
+  const auto traits = apps::madbench2(256);
+  core::Acic acic(db, core::Objective::kPerformance);
+  const auto recs = acic.recommend(traits, 3);
+  std::printf("[3/4] top-3 recommendations for %s (np=%d):\n",
+              traits.name.c_str(), traits.num_processes);
+  for (const auto& r : recs) {
+    std::printf("      %-22s predicted %0.2fx over baseline\n",
+                r.config.label().c_str(), r.predicted_improvement);
+  }
+
+  // --- 4. Verify: run BTIO under the pick and under the baseline. -----
+  std::printf("[4/4] verifying on the simulated cloud...\n");
+  const auto picked = io::run_workload(traits, recs.front().config);
+  const auto base = io::run_workload(traits, cloud::IoConfig::baseline());
+  std::printf("      baseline  %-12s %8.1f s  %s\n",
+              cloud::IoConfig::baseline().label().c_str(), base.total_time,
+              format_money(base.cost).c_str());
+  std::printf("      ACIC pick %-12s %8.1f s  %s  (%.2fx speedup)\n",
+              recs.front().config.label().c_str(), picked.total_time,
+              format_money(picked.cost).c_str(),
+              base.total_time / picked.total_time);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// What-if runner: execute one of the evaluation applications under any
+// candidate configuration on the simulated cloud and print the outcome —
+// the "try before you buy" companion to the recommender.
+//
+// Usage:
+//   example_simulate_config [app] [np] [config-label] [options]
+//     app           BTIO | FLASHIO | mpiBLAST | MADbench2   (default BTIO)
+//     np            process count / scale                    (default 64)
+//     config-label  e.g. pvfs.4.D.eph.4M, nfs.P.ebs; "all" sweeps every
+//                   candidate                                (default all)
+//   options:
+//     --detailed-pricing   include EBS volume-hour + per-I/O charges
+//     --failures=R         transient outages per hour (default 0)
+//     --ssd                include SSD configurations in the sweep
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "acic/apps/apps.hpp"
+#include "acic/common/table.hpp"
+#include "acic/io/runner.hpp"
+
+namespace {
+
+using namespace acic;
+
+io::Workload app_by_name(const std::string& name, int np) {
+  if (name == "BTIO") return apps::btio(np);
+  if (name == "FLASHIO") return apps::flashio(np);
+  if (name == "mpiBLAST") return apps::mpiblast(np);
+  if (name == "MADbench2") return apps::madbench2(np);
+  throw Error("unknown application '" + name +
+              "' (BTIO, FLASHIO, mpiBLAST, MADbench2)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acic;
+  try {
+    std::string app = "BTIO", label = "all";
+    int np = 64;
+    io::RunOptions opts;
+    bool ssd = false;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--detailed-pricing") {
+        opts.detailed_pricing = cloud::DetailedPricing{};
+      } else if (arg.rfind("--failures=", 0) == 0) {
+        opts.failures_per_hour = std::stod(arg.substr(11));
+      } else if (arg == "--ssd") {
+        ssd = true;
+      } else if (positional == 0) {
+        app = arg;
+        ++positional;
+      } else if (positional == 1) {
+        np = std::stoi(arg);
+        ++positional;
+      } else {
+        label = arg;
+        ++positional;
+      }
+    }
+
+    const auto w = app_by_name(app, np);
+    auto candidates = ssd ? cloud::IoConfig::enumerate_candidates_with_ssd()
+                          : cloud::IoConfig::enumerate_candidates();
+    if (label != "all") {
+      std::vector<cloud::IoConfig> picked;
+      for (const auto& c : candidates) {
+        if (c.label() == label) picked.push_back(c);
+      }
+      if (picked.empty()) throw Error("unknown config label: " + label);
+      candidates = picked;
+    }
+
+    TextTable t({"config", "time", "cost", "I/O time", "instances",
+                 "fs requests"});
+    for (const auto& cfg : candidates) {
+      const auto r = io::run_workload(w, cfg, opts);
+      t.add_row({cfg.label(), format_time(r.total_time),
+                 format_money(r.cost), format_time(r.io_time),
+                 std::to_string(r.num_instances),
+                 std::to_string(r.fs_requests)});
+    }
+    std::printf("%s np=%d on the simulated cloud (%zu configuration%s)\n\n",
+                app.c_str(), np, candidates.size(),
+                candidates.size() == 1 ? "" : "s");
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,139 @@
+#include "acic/apps/apps.hpp"
+
+#include <cmath>
+
+#include "acic/common/error.hpp"
+
+namespace acic::apps {
+
+namespace {
+
+/// Strong-scaled per-rank compute seconds for a fixed total amount of
+/// work (expressed in cc2-core-seconds).
+double scaled_compute(double total_core_seconds, int num_processes,
+                      int iterations) {
+  return total_core_seconds /
+         (static_cast<double>(num_processes) *
+          static_cast<double>(iterations));
+}
+
+}  // namespace
+
+io::Workload btio(int num_processes, BtClass problem_class) {
+  ACIC_CHECK(num_processes >= 1);
+  // NPB grid edges per class; output volume and solver work scale with
+  // the cell count (class C is the paper's 6.4 GB setting).
+  double edge = 162.0;
+  switch (problem_class) {
+    case BtClass::kA:
+      edge = 64.0;
+      break;
+    case BtClass::kB:
+      edge = 102.0;
+      break;
+    case BtClass::kC:
+      edge = 162.0;
+      break;
+    case BtClass::kD:
+      edge = 408.0;
+      break;
+  }
+  const double cells_vs_c = (edge * edge * edge) / (162.0 * 162.0 * 162.0);
+
+  io::Workload w;
+  w.name = "BTIO";
+  w.num_processes = num_processes;
+  w.num_io_processes = num_processes;
+  w.interface = io::IoInterface::kMpiIo;
+  // 200 BT time steps, a collective dump every 5 steps.
+  w.iterations = 40;
+  // ~6.4 GB (class C) over the run, split across dumps and ranks.
+  w.data_size = cells_vs_c * 6.4 * GiB / (40.0 * num_processes);
+  w.request_size = w.data_size;  // one collective call per rank per dump
+  w.op = io::OpMix::kWrite;
+  w.collective = true;
+  w.file_shared = true;
+  // CPU-heavy: ~3840 core-seconds of class C solver work across the run.
+  w.compute_per_iteration =
+      scaled_compute(3840.0 * cells_vs_c, num_processes, 40);
+  // Comm-heavy: face exchanges each dump interval (surface ~ cells^{2/3}).
+  w.comm_per_iteration = 8.0 * MiB * std::pow(cells_vs_c, 2.0 / 3.0);
+  w.normalize();
+  return w;
+}
+
+io::Workload flashio(int num_processes) {
+  ACIC_CHECK(num_processes >= 1);
+  io::Workload w;
+  w.name = "FLASHIO";
+  w.num_processes = num_processes;
+  w.num_io_processes = num_processes;
+  w.interface = io::IoInterface::kHdf5;
+  w.iterations = 1;  // one checkpoint dump per kernel run
+  // ~15 GB checkpoint split across the ranks.
+  w.data_size = 15.0 * GiB / static_cast<double>(num_processes);
+  w.request_size = 32.0 * MiB;  // chunked dataset writes
+  w.op = io::OpMix::kWrite;
+  w.collective = true;  // parallel HDF5 collective transfer mode
+  w.file_shared = true;
+  // I/O kernel: barely any compute or communication.
+  w.compute_per_iteration = scaled_compute(320.0, num_processes, 1);
+  w.comm_per_iteration = 256.0 * KiB;
+  w.normalize();
+  return w;
+}
+
+io::Workload mpiblast(int num_io_processes) {
+  ACIC_CHECK(num_io_processes >= 1);
+  io::Workload w;
+  w.name = "mpiBLAST";
+  w.num_processes = num_io_processes;
+  w.num_io_processes = num_io_processes;
+  w.interface = io::IoInterface::kPosix;
+  w.iterations = 1;  // one scan of the database per batch of queries
+  // 84 GB wgs database, 32 segments, read once per run.
+  w.data_size = 84.0 * GiB / static_cast<double>(num_io_processes);
+  w.request_size = 1.0 * MiB;  // sequence-block sized POSIX reads
+  w.op = io::OpMix::kRead;
+  w.collective = false;
+  w.file_shared = false;  // each reader works on its own segment files
+  // ~1K queries of alignment work spread over the workers.
+  w.compute_per_iteration = scaled_compute(4800.0, num_io_processes, 1);
+  w.comm_per_iteration = 2.0 * MiB;  // result merging
+  w.normalize();
+  return w;
+}
+
+io::Workload madbench2(int num_processes) {
+  ACIC_CHECK(num_processes >= 1);
+  io::Workload w;
+  w.name = "MADbench2";
+  w.num_processes = num_processes;
+  w.num_io_processes = num_processes;
+  w.interface = io::IoInterface::kMpiIo;
+  // The 32 GB matrix is written after each of two computation stages and
+  // read back on demand: four passes over the file in total.
+  w.iterations = 2;
+  w.op = io::OpMix::kReadWrite;
+  w.data_size = 32.0 * GiB / (2.0 * num_processes);
+  w.request_size = 64.0 * MiB;  // large contiguous matrix slabs
+  w.collective = false;
+  w.file_shared = true;
+  w.compute_per_iteration = scaled_compute(1280.0, num_processes, 2);
+  w.comm_per_iteration = 4.0 * MiB;
+  w.normalize();
+  return w;
+}
+
+std::vector<AppRun> evaluation_suite() {
+  std::vector<AppRun> suite;
+  for (int np : {64, 256}) suite.push_back({"BTIO", np, btio(np)});
+  for (int np : {64, 256}) suite.push_back({"FLASHIO", np, flashio(np)});
+  for (int np : {32, 64, 128}) {
+    suite.push_back({"mpiBLAST", np, mpiblast(np)});
+  }
+  for (int np : {64, 256}) suite.push_back({"MADbench2", np, madbench2(np)});
+  return suite;
+}
+
+}  // namespace acic::apps

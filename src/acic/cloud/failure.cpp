@@ -1,0 +1,68 @@
+#include "acic/cloud/failure.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "acic/common/error.hpp"
+
+namespace acic::cloud {
+
+void FailureInjector::inject(Target target, int server, SimTime at,
+                             SimTime duration) {
+  ACIC_CHECK(duration > 0.0);
+  std::vector<sim::ResourceId> resources;
+  if (target == Target::kServerNic) {
+    const int inst = cluster_.instance_of_server(server);
+    resources = {cluster_.nic_tx(inst), cluster_.nic_rx(inst)};
+  } else {
+    resources = {cluster_.device_read_resource(server),
+                 cluster_.device_write_resource(server)};
+  }
+  auto& sim = cluster_.simulator();
+  for (auto r : resources) {
+    sim.at(at, [this, r] { suppress(r); });
+    sim.at(at + duration, [this, r] { restore(r); });
+  }
+  ++scheduled_;
+}
+
+void FailureInjector::inject_random(Rng& rng, double outages_per_hour,
+                                    SimTime horizon, SimTime min_duration,
+                                    SimTime max_duration) {
+  ACIC_CHECK(outages_per_hour >= 0.0);
+  if (outages_per_hour == 0.0) return;
+  const double mean_gap = kHour / outages_per_hour;
+  SimTime t = cluster_.simulator().now();
+  while (true) {
+    // Exponential inter-arrival times.
+    t += -mean_gap * std::log(1.0 - rng.uniform());
+    if (t >= horizon) break;
+    const int server = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(
+            std::max(1, cluster_.num_io_servers()))));
+    const Target target =
+        rng.uniform() < 0.5 ? Target::kServerNic : Target::kServerDevice;
+    inject(target, server, t, rng.uniform(min_duration, max_duration));
+  }
+}
+
+void FailureInjector::suppress(sim::ResourceId id) {
+  auto& entry = active_[id];
+  if (entry.second == 0) {
+    entry.first = cluster_.network().capacity(id);
+    cluster_.network().set_capacity(id, 0.0);
+  }
+  ++entry.second;
+}
+
+void FailureInjector::restore(sim::ResourceId id) {
+  auto it = active_.find(id);
+  ACIC_CHECK(it != active_.end() && it->second.second > 0);
+  --it->second.second;
+  if (it->second.second == 0) {
+    cluster_.network().set_capacity(id, it->second.first);
+    active_.erase(it);
+  }
+}
+
+}  // namespace acic::cloud

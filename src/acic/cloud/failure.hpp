@@ -1,0 +1,48 @@
+// Transient failure injection (paper §5.6 observation 5: lost connections
+// to I/O servers happen on real cloud platforms).
+//
+// An outage zeroes the capacity of a server's NIC or device resources for
+// a period; in-flight flows stall and resume when capacity is restored —
+// clients observe a hung connection rather than an error, which matches
+// the stalled-then-recovered behaviour the paper reports.
+#pragma once
+
+#include <map>
+
+#include "acic/cloud/cluster.hpp"
+#include "acic/common/rng.hpp"
+#include "acic/common/units.hpp"
+
+namespace acic::cloud {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(ClusterModel& cluster) : cluster_(cluster) {}
+
+  enum class Target {
+    kServerNic,     ///< sever the server instance's network connectivity
+    kServerDevice,  ///< stall the server's storage device
+  };
+
+  /// Schedule one outage of `duration` seconds starting at `at`.
+  void inject(Target target, int server, SimTime at, SimTime duration);
+
+  /// Schedule Poisson-ish random outages until `horizon` at the given mean
+  /// rate; each outage picks a random server/target and lasts
+  /// [min_duration, max_duration).
+  void inject_random(Rng& rng, double outages_per_hour, SimTime horizon,
+                     SimTime min_duration = 5.0, SimTime max_duration = 30.0);
+
+  int scheduled_outages() const { return scheduled_; }
+
+ private:
+  void suppress(sim::ResourceId id);
+  void restore(sim::ResourceId id);
+
+  ClusterModel& cluster_;
+  int scheduled_ = 0;
+  /// resource -> (original capacity, active outage nesting count)
+  std::map<sim::ResourceId, std::pair<double, int>> active_;
+};
+
+}  // namespace acic::cloud

@@ -1,0 +1,170 @@
+#include "acic/cloud/ioconfig.hpp"
+
+#include <sstream>
+
+#include "acic/common/error.hpp"
+
+namespace acic::cloud {
+
+const char* to_string(FileSystemType fs) {
+  switch (fs) {
+    case FileSystemType::kNfs:
+      return "NFS";
+    case FileSystemType::kPvfs2:
+      return "PVFS2";
+    case FileSystemType::kLustre:
+      return "Lustre";
+  }
+  return "?";
+}
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kPartTime:
+      return "part-time";
+    case Placement::kDedicated:
+      return "dedicated";
+  }
+  return "?";
+}
+
+FileSystemType fs_from_string(const std::string& s) {
+  if (s == "NFS" || s == "nfs") return FileSystemType::kNfs;
+  if (s == "PVFS2" || s == "pvfs2" || s == "pvfs") return FileSystemType::kPvfs2;
+  if (s == "Lustre" || s == "lustre") return FileSystemType::kLustre;
+  throw Error("unknown file system: " + s);
+}
+
+Placement placement_from_string(const std::string& s) {
+  if (s == "part-time" || s == "P") return Placement::kPartTime;
+  if (s == "dedicated" || s == "D") return Placement::kDedicated;
+  throw Error("unknown placement: " + s);
+}
+
+bool IoConfig::valid() const {
+  if (io_servers < 1) return false;
+  if (fs == FileSystemType::kNfs && io_servers != 1) return false;
+  if (fs != FileSystemType::kNfs && stripe_size <= 0.0) return false;
+  if (raid_members < 0) return false;
+  return true;
+}
+
+int IoConfig::effective_raid_members() const {
+  if (raid_members > 0) return raid_members;
+  switch (device) {
+    case storage::DeviceType::kEphemeral:
+      return instance_spec(instance).ephemeral_disks;
+    case storage::DeviceType::kEbs:
+      return 2;  // the common two-volume RAID-0 EBS setup
+    case storage::DeviceType::kSsd:
+      return 2;
+  }
+  return 1;
+}
+
+std::string IoConfig::label() const {
+  std::ostringstream os;
+  switch (fs) {
+    case FileSystemType::kNfs:
+      os << "nfs";
+      break;
+    case FileSystemType::kPvfs2:
+      os << "pvfs." << io_servers;
+      break;
+    case FileSystemType::kLustre:
+      os << "lustre." << io_servers;
+      break;
+  }
+  os << "." << (placement == Placement::kDedicated ? "D" : "P");
+  os << ".";
+  switch (device) {
+    case storage::DeviceType::kEphemeral:
+      os << "eph";
+      break;
+    case storage::DeviceType::kEbs:
+      os << "ebs";
+      break;
+    case storage::DeviceType::kSsd:
+      os << "ssd";
+      break;
+  }
+  if (fs != FileSystemType::kNfs) {
+    os << (stripe_size >= MiB ? ".4M" : ".64K");
+  }
+  if (instance == InstanceType::kCc1_4xlarge) os << ".cc1";
+  return os.str();
+}
+
+IoConfig IoConfig::baseline() {
+  IoConfig c;
+  c.device = storage::DeviceType::kEbs;
+  c.fs = FileSystemType::kNfs;
+  c.instance = InstanceType::kCc2_8xlarge;
+  c.io_servers = 1;
+  c.placement = Placement::kDedicated;
+  c.stripe_size = 0.0;
+  c.raid_members = 0;  // EBS default resolves to the two-volume RAID-0
+  return c;
+}
+
+namespace {
+
+std::vector<IoConfig> enumerate_over(
+    const std::vector<storage::DeviceType>& devices);
+
+}  // namespace
+
+std::vector<IoConfig> IoConfig::enumerate_candidates() {
+  return enumerate_over(
+      {storage::DeviceType::kEbs, storage::DeviceType::kEphemeral});
+}
+
+std::vector<IoConfig> IoConfig::enumerate_candidates_with_ssd() {
+  return enumerate_over({storage::DeviceType::kEbs,
+                         storage::DeviceType::kEphemeral,
+                         storage::DeviceType::kSsd});
+}
+
+namespace {
+
+std::vector<IoConfig> enumerate_over(
+    const std::vector<storage::DeviceType>& devices) {
+  std::vector<IoConfig> out;
+  const InstanceType instances[] = {InstanceType::kCc1_4xlarge,
+                                    InstanceType::kCc2_8xlarge};
+  const Placement placements[] = {Placement::kPartTime, Placement::kDedicated};
+  for (auto dev : devices) {
+    for (auto inst : instances) {
+      for (auto place : placements) {
+        // NFS: single server, no stripe size.
+        IoConfig nfs;
+        nfs.device = dev;
+        nfs.fs = FileSystemType::kNfs;
+        nfs.instance = inst;
+        nfs.io_servers = 1;
+        nfs.placement = place;
+        nfs.stripe_size = 0.0;
+        out.push_back(nfs);
+        // PVFS2: {1,2,4} servers x {64KB,4MB} stripes.
+        for (int servers : {1, 2, 4}) {
+          for (Bytes stripe : {64.0 * KiB, 4.0 * MiB}) {
+            IoConfig p;
+            p.device = dev;
+            p.fs = FileSystemType::kPvfs2;
+            p.instance = inst;
+            p.io_servers = servers;
+            p.placement = place;
+            p.stripe_size = stripe;
+            out.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  for (const auto& c : out) ACIC_CHECK(c.valid());
+  return out;
+}
+
+}  // namespace
+
+}  // namespace acic::cloud

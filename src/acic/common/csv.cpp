@@ -1,0 +1,80 @@
+#include "acic/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "acic/common/error.hpp"
+
+namespace acic {
+
+namespace {
+
+void append_row(std::ostringstream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    ACIC_CHECK_MSG(row[i].find_first_of(",\n\r") == std::string::npos,
+                   "CSV cell contains a separator: '" << row[i] << "'");
+    if (i) os << ',';
+    os << row[i];
+  }
+  os << '\n';
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+std::string to_csv(const CsvTable& table) {
+  std::ostringstream os;
+  append_row(os, table.header);
+  for (const auto& row : table.rows) {
+    ACIC_CHECK_MSG(row.size() == table.header.size(),
+                   "CSV row arity mismatch");
+    append_row(os, row);
+  }
+  return os.str();
+}
+
+CsvTable from_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream is(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split_row(line);
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      ACIC_CHECK_MSG(cells.size() == table.header.size(),
+                     "CSV row arity mismatch while parsing");
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::trunc);
+  ACIC_CHECK_MSG(out.good(), "cannot open for write: " << path);
+  out << to_csv(table);
+  ACIC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  ACIC_CHECK_MSG(in.good(), "cannot open for read: " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_csv(os.str());
+}
+
+}  // namespace acic

@@ -1,0 +1,31 @@
+// Minimal CSV persistence for the crowdsourced training database.
+//
+// The format intentionally stays simple (no quoting/escaping) because the
+// database stores only identifiers and numbers; writing a value containing
+// a comma or newline is rejected rather than silently corrupting the file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acic {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Serialize to CSV text; throws acic::Error on values containing ',' or
+/// newlines.
+std::string to_csv(const CsvTable& table);
+
+/// Parse CSV text produced by to_csv (first line is the header).
+CsvTable from_csv(const std::string& text);
+
+/// Write table to a file (throws on I/O failure).
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Read a CSV file (throws on I/O failure).
+CsvTable read_csv_file(const std::string& path);
+
+}  // namespace acic

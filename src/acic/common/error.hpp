@@ -1,0 +1,45 @@
+// Error handling used across the library.
+//
+// The library throws `acic::Error` for contract violations and unexpected
+// states; ACIC_CHECK is the assertion macro used on hot-but-not-inner-loop
+// paths so misuse is diagnosed in release builds too.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acic {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ACIC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace acic
+
+#define ACIC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::acic::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ACIC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream acic_os_;                                       \
+      acic_os_ << msg;                                                   \
+      ::acic::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                   acic_os_.str());                      \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,50 @@
+#include "acic/common/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acic {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads) {
+  if (n == 0) return;
+  unsigned workers = threads ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, n));
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace acic

@@ -1,0 +1,19 @@
+// Thread-pool parallel-for over independent work items.
+//
+// Training-data collection runs thousands of mutually independent
+// simulations; each owns its Simulator, so they parallelise trivially
+// across host threads.  Exceptions from workers are captured and the
+// first one is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace acic {
+
+/// Invoke `body(i)` for every i in [0, n) using up to `threads` host
+/// threads (0 = hardware concurrency).  Blocks until all items finish.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0);
+
+}  // namespace acic

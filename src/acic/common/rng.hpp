@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (multi-tenant jitter, walker
+// tie-breaks, workload sampling) draws from an explicitly seeded Rng so
+// experiments are reproducible bit-for-bit across runs and platforms.  The
+// engine is xoshiro256**, seeded through splitmix64 as its authors
+// recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace acic {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller.
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal multiplicative jitter with median 1 and the given sigma;
+  /// used to model multi-tenant cloud performance variability.
+  double lognormal_jitter(double sigma);
+
+  /// Fisher–Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for per-rank streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace acic

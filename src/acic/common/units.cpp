@@ -1,0 +1,55 @@
+#include "acic/common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace acic {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = b;
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[i]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", t * 1e6);
+  } else if (t < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", t * 1e3);
+  } else if (t < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", t);
+  } else if (t < kHour) {
+    std::snprintf(buf, sizeof(buf), "%dm %.1fs", static_cast<int>(t / kMinute),
+                  std::fmod(t, kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%dh %dm", static_cast<int>(t / kHour),
+                  static_cast<int>(std::fmod(t, kHour) / kMinute));
+  }
+  return buf;
+}
+
+std::string format_money(Money m) {
+  char buf[64];
+  if (m >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "$%.1fK", m / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", m);
+  }
+  return buf;
+}
+
+}  // namespace acic

@@ -1,0 +1,51 @@
+// Unit helpers shared across the ACIC code base.
+//
+// Simulation time is a plain `double` number of seconds (SimTime); data
+// volumes are `double` bytes so fractional byte accounting from bandwidth
+// integration never truncates; money is `double` US dollars.  The helpers
+// here exist so call sites read in the paper's units (MB request sizes,
+// $/hour instance prices, GB checkpoint files) rather than raw powers of
+// two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace acic {
+
+/// Simulated wall-clock time, in seconds.
+using SimTime = double;
+
+/// Data volume, in bytes.
+using Bytes = double;
+
+/// Monetary amount, in US dollars.
+using Money = double;
+
+inline constexpr Bytes KiB = 1024.0;
+inline constexpr Bytes MiB = 1024.0 * KiB;
+inline constexpr Bytes GiB = 1024.0 * MiB;
+inline constexpr Bytes TiB = 1024.0 * GiB;
+
+inline constexpr SimTime kMicrosecond = 1e-6;
+inline constexpr SimTime kMillisecond = 1e-3;
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+
+/// Bandwidth in bytes/second from the conventional MB/s figure.
+constexpr double mb_per_s(double mb) { return mb * MiB; }
+
+/// Hourly price to a per-second rate.
+constexpr double per_hour(Money dollars) { return dollars / kHour; }
+
+/// Render a byte count as a human-readable string ("6.4 GiB").
+std::string format_bytes(Bytes b);
+
+/// Render a duration as a human-readable string ("2m 13.5s").
+std::string format_time(SimTime t);
+
+/// Render dollars with two decimals ("$1.23").
+std::string format_money(Money m);
+
+}  // namespace acic

@@ -1,0 +1,32 @@
+// Rule-based stand-ins for the paper's user-study participants (§6): an
+// experienced application *user* and a core *developer* manually choose
+// I/O configurations from the same information ACIC gets.  The rules
+// encode the kind of common knowledge the study reports ("ephemeral is
+// fast", "part-time saves money", "PVFS2 scales") — individually sound,
+// but blind to parameter interplay, which is exactly why ACIC beats them.
+#pragma once
+
+#include <vector>
+
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/core/training.hpp"
+#include "acic/io/workload.hpp"
+
+namespace acic::core {
+
+/// The skilled application user's single pick.
+cloud::IoConfig user_choice(const io::Workload& traits, Objective objective);
+
+/// The user's top-3 candidates (first = user_choice).
+std::vector<cloud::IoConfig> user_top3(const io::Workload& traits,
+                                       Objective objective);
+
+/// The core developer's single pick (more pattern-aware).
+cloud::IoConfig developer_choice(const io::Workload& traits,
+                                 Objective objective);
+
+/// The developer's top-3 candidates (first = developer_choice).
+std::vector<cloud::IoConfig> developer_top3(const io::Workload& traits,
+                                            Objective objective);
+
+}  // namespace acic::core

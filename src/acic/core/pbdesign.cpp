@@ -1,0 +1,119 @@
+#include "acic/core/pbdesign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "acic/common/error.hpp"
+
+namespace acic::core {
+
+namespace {
+
+/// First rows of the classic cyclic PB designs (Plackett & Burman 1946).
+const std::vector<int>& generator(int runs) {
+  static const std::vector<int> g8 = {+1, +1, +1, -1, +1, -1, -1};
+  static const std::vector<int> g12 = {+1, +1, -1, +1, +1, +1,
+                                       -1, -1, -1, +1, -1};
+  static const std::vector<int> g16 = {+1, +1, +1, +1, -1, +1, -1, +1,
+                                       +1, -1, -1, +1, -1, -1, -1};
+  static const std::vector<int> g20 = {+1, +1, -1, -1, +1, +1, +1, +1, -1, +1,
+                                       -1, +1, -1, -1, -1, -1, +1, +1, -1};
+  static const std::vector<int> g24 = {+1, +1, +1, +1, +1, -1, +1, -1,
+                                       +1, +1, -1, -1, +1, +1, -1, -1,
+                                       +1, -1, +1, -1, -1, -1, -1};
+  switch (runs) {
+    case 8:
+      return g8;
+    case 12:
+      return g12;
+    case 16:
+      return g16;
+    case 20:
+      return g20;
+    case 24:
+      return g24;
+    default:
+      throw Error("no PB generator for N' = " + std::to_string(runs));
+  }
+}
+
+}  // namespace
+
+PbMatrix PbDesign::matrix(int runs) {
+  const auto& gen = generator(runs);
+  const int cols = runs - 1;
+  ACIC_CHECK(static_cast<int>(gen.size()) == cols);
+  PbMatrix m;
+  m.reserve(static_cast<std::size_t>(runs));
+  // Rows 0..runs-2 are cyclic right-shifts of the generator.
+  for (int r = 0; r < runs - 1; ++r) {
+    std::vector<int> row(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          gen[static_cast<std::size_t>(((c - r) % cols + cols) % cols)];
+    }
+    m.push_back(std::move(row));
+  }
+  // Final row: all low.
+  m.emplace_back(static_cast<std::size_t>(cols), -1);
+  return m;
+}
+
+int PbDesign::runs_for(int params) {
+  ACIC_CHECK(params >= 1);
+  int runs = ((params + 1) + 3) / 4 * 4;  // smallest multiple of 4 > params
+  while (runs <= params) runs += 4;
+  return runs;
+}
+
+PbMatrix PbDesign::foldover(int runs) {
+  PbMatrix m = matrix(runs);
+  const std::size_t base = m.size();
+  for (std::size_t r = 0; r < base; ++r) {
+    std::vector<int> neg = m[r];
+    for (int& v : neg) v = -v;
+    m.push_back(std::move(neg));
+  }
+  return m;
+}
+
+std::vector<double> PbDesign::effects(const PbMatrix& design,
+                                      const std::vector<double>& response,
+                                      int params) {
+  ACIC_CHECK(!design.empty());
+  ACIC_CHECK_MSG(design.size() == response.size(),
+                 "response size " << response.size() << " != runs "
+                                  << design.size());
+  ACIC_CHECK(params >= 1 &&
+             params <= static_cast<int>(design.front().size()));
+  std::vector<double> eff(static_cast<std::size_t>(params), 0.0);
+  for (std::size_t r = 0; r < design.size(); ++r) {
+    for (int c = 0; c < params; ++c) {
+      eff[static_cast<std::size_t>(c)] +=
+          design[r][static_cast<std::size_t>(c)] * response[r];
+    }
+  }
+  return eff;
+}
+
+std::vector<int> PbDesign::ranking(const std::vector<double>& effects) {
+  std::vector<int> order(effects.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::abs(effects[static_cast<std::size_t>(a)]) >
+           std::abs(effects[static_cast<std::size_t>(b)]);
+  });
+  return order;
+}
+
+std::vector<int> PbDesign::rank_of_each(const std::vector<double>& effects) {
+  const auto order = ranking(effects);
+  std::vector<int> rank(effects.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[static_cast<std::size_t>(order[pos])] = static_cast<int>(pos) + 1;
+  }
+  return rank;
+}
+
+}  // namespace acic::core

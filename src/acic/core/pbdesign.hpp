@@ -1,0 +1,47 @@
+// Plackett–Burman experiment designs (Plackett & Burman 1946), including
+// the foldover variant the paper uses to rank parameter importance.
+//
+// A PB design screens N parameters with N' runs, N' being the smallest
+// multiple of four >= N+1.  Row i of the matrix assigns each parameter to
+// its "high" (+1) or "low" (-1) value for run i.  After measuring the N'
+// responses, a parameter's effect is the dot product of its column with
+// the response vector; |effect| ranks importance (the sign is not
+// meaningful for ranking, §4.1).  Foldover appends the negated matrix,
+// doubling the runs and cancelling pairwise-interaction aliasing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace acic::core {
+
+/// +1/-1 design matrix, `runs` x `runs-1` columns.
+using PbMatrix = std::vector<std::vector<int>>;
+
+class PbDesign {
+ public:
+  /// Standard PB design for N' = 8, 12, 16, 20 or 24 runs (cyclic
+  /// generator rows plus the all-minus row).  Throws for other sizes.
+  static PbMatrix matrix(int runs);
+
+  /// Smallest supported N' for `params` parameters.
+  static int runs_for(int params);
+
+  /// Foldover design: 2*N' rows (the matrix followed by its negation).
+  static PbMatrix foldover(int runs);
+
+  /// Per-parameter effects: dot(column_j, response).  `params` selects
+  /// the first columns (ignore padding columns when N < N'-1).
+  static std::vector<double> effects(const PbMatrix& design,
+                                     const std::vector<double>& response,
+                                     int params);
+
+  /// Parameter indices ordered by decreasing |effect| (rank 1 first).
+  static std::vector<int> ranking(const std::vector<double>& effects);
+
+  /// Convenience: 1-based rank of each parameter (rank[i] = position of
+  /// parameter i in the importance order).
+  static std::vector<int> rank_of_each(const std::vector<double>& effects);
+};
+
+}  // namespace acic::core

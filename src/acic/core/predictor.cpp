@@ -1,0 +1,52 @@
+#include "acic/core/predictor.hpp"
+
+#include <algorithm>
+
+#include "acic/common/error.hpp"
+#include "acic/core/paramspace.hpp"
+
+namespace acic::core {
+
+Acic::Acic(const TrainingDatabase& db, Objective objective,
+           LearnerFactory make_learner)
+    : objective_(objective) {
+  ACIC_CHECK_MSG(!db.empty(), "cannot train ACIC on an empty database");
+  if (make_learner) {
+    model_ = make_learner();
+  } else {
+    model_ = std::make_unique<ml::CartTree>();
+  }
+  model_->fit(db.to_dataset(objective));
+}
+
+double Acic::predict(const cloud::IoConfig& config,
+                     const io::Workload& traits) const {
+  const Point p = ParamSpace::encode(config, traits);
+  return model_->predict(std::vector<double>(p.begin(), p.end()));
+}
+
+std::vector<Recommendation> Acic::recommend(
+    const io::Workload& traits, std::size_t top_k,
+    const std::vector<cloud::IoConfig>& candidates) const {
+  ACIC_CHECK(!candidates.empty());
+  std::vector<Recommendation> recs;
+  recs.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    recs.push_back(Recommendation{c, predict(c, traits)});
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.predicted_improvement >
+                            b.predicted_improvement;
+                   });
+  if (top_k > 0 && recs.size() > top_k) recs.resize(top_k);
+  return recs;
+}
+
+std::vector<std::string> Acic::feature_names() {
+  std::vector<std::string> names;
+  for (const auto& d : ParamSpace::dimensions()) names.push_back(d.name);
+  return names;
+}
+
+}  // namespace acic::core

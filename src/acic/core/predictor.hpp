@@ -1,0 +1,54 @@
+// The ACIC predictor (§4.2): joins an application's I/O characteristics
+// with every candidate system configuration, predicts each candidate's
+// improvement over the baseline with a learner trained on the IOR
+// database, and returns the top-k recommendations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/core/training.hpp"
+#include "acic/io/workload.hpp"
+#include "acic/ml/cart.hpp"
+
+namespace acic::core {
+
+struct Recommendation {
+  cloud::IoConfig config;
+  double predicted_improvement = 0.0;  ///< over baseline; higher is better
+};
+
+class Acic {
+ public:
+  /// Factory producing a fresh learner (defaults to CART).
+  using LearnerFactory = std::function<std::unique_ptr<ml::Learner>()>;
+
+  /// Train a model for `objective` from the database.
+  Acic(const TrainingDatabase& db, Objective objective,
+       LearnerFactory make_learner = nullptr);
+
+  Objective objective() const { return objective_; }
+  const ml::Learner& model() const { return *model_; }
+
+  /// Predicted improvement of one (config, characteristics) pair.
+  double predict(const cloud::IoConfig& config,
+                 const io::Workload& traits) const;
+
+  /// Rank all candidate configurations for an application, best first.
+  /// `candidates` defaults to the full Table 1 system enumeration.
+  std::vector<Recommendation> recommend(
+      const io::Workload& traits, std::size_t top_k = 1,
+      const std::vector<cloud::IoConfig>& candidates =
+          cloud::IoConfig::enumerate_candidates()) const;
+
+  /// Table 1 row names (feature naming for tree dumps).
+  static std::vector<std::string> feature_names();
+
+ private:
+  Objective objective_;
+  std::unique_ptr<ml::Learner> model_;
+};
+
+}  // namespace acic::core

@@ -1,0 +1,41 @@
+// The paper's §4.1 screening experiment: a foldover PB design over all 15
+// dimensions (N = 15, N' = 16, 32 IOR runs) that produces the importance
+// ranking in Table 1's rightmost column.  The ranking then drives both
+// incremental training (explore important dimensions first) and
+// PB-guided space walking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acic/core/pbdesign.hpp"
+#include "acic/core/training.hpp"
+
+namespace acic::core {
+
+struct PbRankingResult {
+  PbMatrix design;                ///< the 32 foldover rows actually run
+  std::vector<double> response;   ///< measured objective per run
+  std::vector<double> effects;    ///< per-dimension PB effects
+  std::vector<int> importance;    ///< dimension indices, most important first
+  std::vector<int> rank_of_each;  ///< 1-based rank per dimension
+  TrainingStats stats;            ///< what the 32 runs cost
+};
+
+struct PbRankingOptions {
+  Objective objective = Objective::kPerformance;
+  std::uint64_t seed = 1;
+  double jitter_sigma = 0.06;
+  unsigned threads = 0;
+  /// Compute effects on log(response).  The PB rows span three orders of
+  /// magnitude in I/O volume, so raw-scale effects are dominated by the
+  /// volume dimensions; the log transform measures multiplicative impact
+  /// and lets configuration dimensions register.
+  bool log_response = true;
+};
+
+/// Execute the 32-run foldover screening with IOR on the simulated cloud
+/// and rank all 15 dimensions.
+PbRankingResult run_pb_ranking(const PbRankingOptions& options = {});
+
+}  // namespace acic::core

@@ -1,0 +1,293 @@
+#include "acic/core/training.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "acic/common/error.hpp"
+#include "acic/common/parallel.hpp"
+#include "acic/common/rng.hpp"
+#include "acic/ior/ior.hpp"
+
+namespace acic::core {
+
+const char* to_string(Objective o) {
+  return o == Objective::kPerformance ? "performance" : "cost";
+}
+
+void TrainingDatabase::insert(TrainingSample sample) {
+  sample.sequence = next_sequence_++;
+  samples_.push_back(sample);
+}
+
+void TrainingDatabase::age_out(std::size_t keep_latest) {
+  if (samples_.size() <= keep_latest) return;
+  samples_.erase(samples_.begin(),
+                 samples_.end() - static_cast<std::ptrdiff_t>(keep_latest));
+}
+
+ml::Dataset TrainingDatabase::to_dataset(Objective objective) const {
+  ml::Dataset data;
+  data.x.reserve(samples_.size());
+  data.y.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    data.add(std::vector<double>(s.point.begin(), s.point.end()),
+             s.improvement(objective));
+  }
+  return data;
+}
+
+CsvTable TrainingDatabase::to_csv() const {
+  CsvTable t;
+  for (const auto& d : ParamSpace::dimensions()) {
+    std::string name = d.name;
+    std::replace(name.begin(), name.end(), ' ', '_');
+    t.header.push_back(name);
+  }
+  t.header.insert(t.header.end(),
+                  {"time", "cost", "baseline_time", "baseline_cost",
+                   "sequence"});
+  for (const auto& s : samples_) {
+    std::vector<std::string> row;
+    char buf[64];
+    for (double v : s.point) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      row.emplace_back(buf);
+    }
+    for (double v : {s.time, s.cost, s.baseline_time, s.baseline_cost}) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      row.emplace_back(buf);
+    }
+    row.push_back(std::to_string(s.sequence));
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+TrainingDatabase TrainingDatabase::from_csv(const CsvTable& table) {
+  TrainingDatabase db;
+  ACIC_CHECK_MSG(table.header.size() ==
+                     static_cast<std::size_t>(kNumDims) + 5,
+                 "unexpected training CSV header arity");
+  for (const auto& row : table.rows) {
+    TrainingSample s;
+    for (int d = 0; d < kNumDims; ++d) {
+      s.point[static_cast<std::size_t>(d)] =
+          std::stod(row[static_cast<std::size_t>(d)]);
+    }
+    s.time = std::stod(row[kNumDims + 0]);
+    s.cost = std::stod(row[kNumDims + 1]);
+    s.baseline_time = std::stod(row[kNumDims + 2]);
+    s.baseline_cost = std::stod(row[kNumDims + 3]);
+    db.insert(s);
+  }
+  return db;
+}
+
+void TrainingDatabase::save(const std::string& path) const {
+  write_csv_file(path, to_csv());
+}
+
+TrainingDatabase TrainingDatabase::load(const std::string& path) {
+  return from_csv(read_csv_file(path));
+}
+
+Point default_point() {
+  Point p{};
+  p[kDevice] = 0;        // EBS
+  p[kFileSystem] = 0;    // NFS
+  p[kInstanceType] = 1;  // cc2.8xlarge
+  p[kIoServers] = 1;
+  p[kPlacement] = 1;  // dedicated
+  p[kStripeSize] = 0;
+  p[kNumProcs] = 64;
+  p[kNumIoProcs] = 64;
+  p[kInterface] = 1;  // MPI-IO
+  p[kIterations] = 10;
+  p[kDataSize] = 16.0 * MiB;
+  p[kRequestSize] = 4.0 * MiB;
+  p[kOpType] = 1;  // write
+  p[kCollective] = 0;
+  p[kFileSharing] = 1;
+  return ParamSpace::repaired(p);
+}
+
+namespace {
+
+/// Deterministic key for caching baseline runs per distinct workload.
+std::string workload_key(const Point& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%g|%g|%g|%g|%g|%g|%g|%g|%g",
+                p[kNumProcs], p[kNumIoProcs], p[kInterface], p[kIterations],
+                p[kDataSize], p[kRequestSize], p[kOpType], p[kCollective],
+                p[kFileSharing]);
+  return buf;
+}
+
+std::string point_key(const Point& p) {
+  std::string key;
+  char buf[32];
+  for (double v : p) {
+    std::snprintf(buf, sizeof(buf), "%g|", v);
+    key += buf;
+  }
+  return key;
+}
+
+}  // namespace
+
+TrainingStats collect_training_data(TrainingDatabase& db,
+                                    const TrainingPlan& plan) {
+  ACIC_CHECK(plan.top_dims >= 1 &&
+             plan.top_dims <= static_cast<int>(plan.dim_order.size()));
+
+  const std::vector<int> explored = explored_dims(
+      plan.dim_order, plan.top_dims, plan.always_explore_system_dims);
+
+  // Enumerate (or sub-sample) the cartesian product of explored dims.
+  const auto* overrides =
+      plan.value_overrides.entries.empty() ? nullptr : &plan.value_overrides;
+  std::vector<std::size_t> radix;
+  double product = 1.0;
+  for (int d : explored) {
+    const auto& values =
+        ParamSpace::values_of(static_cast<Dim>(d), overrides);
+    radix.push_back(values.size());
+    product *= static_cast<double>(values.size());
+  }
+
+  Rng rng(plan.seed);
+  std::set<std::string> seen;
+  std::vector<Point> points;
+  auto add_combo = [&](double combo_index) {
+    Point p = default_point();
+    double idx = combo_index;
+    for (std::size_t i = 0; i < explored.size(); ++i) {
+      const auto& values =
+          ParamSpace::values_of(static_cast<Dim>(explored[i]), overrides);
+      const std::size_t v =
+          static_cast<std::size_t>(std::fmod(idx, radix[i]));
+      idx = std::floor(idx / static_cast<double>(radix[i]));
+      p[explored[i]] = values[v];
+    }
+    p = ParamSpace::repaired(p, overrides);
+    if (seen.insert(point_key(p)).second) points.push_back(p);
+  };
+
+  if (product <= static_cast<double>(plan.max_samples)) {
+    for (double c = 0; c < product; c += 1.0) add_combo(c);
+  } else {
+    // Uniform sub-sampling of the product (the paper's sparse-sampling
+    // bootstrap); repair-dedup may return slightly fewer points.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = plan.max_samples * 40;
+    while (points.size() < plan.max_samples && attempts++ < max_attempts) {
+      add_combo(std::floor(rng.uniform() * product));
+    }
+  }
+
+  // Baseline runs: one per distinct workload half.
+  std::map<std::string, std::pair<double, double>> baselines;
+  std::vector<Point> baseline_points;
+  for (const auto& p : points) {
+    const auto key = workload_key(p);
+    if (!baselines.count(key)) {
+      baselines[key] = {0.0, 0.0};
+      baseline_points.push_back(p);
+    }
+  }
+
+  TrainingStats stats;
+  std::mutex stats_mutex;
+  const auto baseline_cfg = cloud::IoConfig::baseline();
+
+  parallel_for(
+      baseline_points.size(),
+      [&](std::size_t i) {
+        const Point& p = baseline_points[i];
+        io::RunOptions opts;
+        opts.seed = plan.seed ^ 0xb5e11eULL ^ i;
+        opts.jitter_sigma = plan.jitter_sigma;
+        const auto r =
+            ior::run_ior(ParamSpace::workload_of(p), baseline_cfg, opts);
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        baselines[workload_key(p)] = {r.total_time, r.cost};
+        ++stats.runs;
+        stats.simulated_hours += r.total_time / kHour;
+        stats.money += r.cost;
+      },
+      plan.threads);
+
+  std::vector<TrainingSample> collected(points.size());
+  parallel_for(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& p = points[i];
+        io::RunOptions opts;
+        opts.seed = plan.seed ^ (i * 0x9e3779b9ULL + 17);
+        opts.jitter_sigma = plan.jitter_sigma;
+        const auto r = ior::run_ior(ParamSpace::workload_of(p),
+                                    ParamSpace::config_of(p), opts);
+        TrainingSample s;
+        s.point = p;
+        s.time = r.total_time;
+        s.cost = r.cost;
+        collected[i] = s;
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.runs;
+        stats.simulated_hours += r.total_time / kHour;
+        stats.money += r.cost;
+      },
+      plan.threads);
+
+  for (auto& s : collected) {
+    const auto& base = baselines.at(workload_key(s.point));
+    s.baseline_time = base.first;
+    s.baseline_cost = base.second;
+    db.insert(s);
+  }
+  return stats;
+}
+
+std::vector<int> explored_dims(const std::vector<int>& dim_order,
+                               int top_dims,
+                               bool always_explore_system_dims) {
+  ACIC_CHECK(top_dims >= 1 &&
+             top_dims <= static_cast<int>(dim_order.size()));
+  std::vector<int> explored;
+  if (always_explore_system_dims) {
+    for (const auto& d : ParamSpace::dimensions()) {
+      if (d.is_system) explored.push_back(d.dim);
+    }
+    ACIC_CHECK_MSG(top_dims >= static_cast<int>(explored.size()),
+                   "top_dims must cover at least the system dimensions");
+    for (int d : dim_order) {
+      if (static_cast<int>(explored.size()) >= top_dims) break;
+      if (std::find(explored.begin(), explored.end(), d) == explored.end()) {
+        explored.push_back(d);
+      }
+    }
+  } else {
+    explored.assign(dim_order.begin(), dim_order.begin() + top_dims);
+  }
+  return explored;
+}
+
+double enumeration_size(const std::vector<int>& dim_order, int top_dims) {
+  double n = 1.0;
+  for (int d : explored_dims(dim_order, top_dims)) {
+    n *= static_cast<double>(
+        ParamSpace::dimension(static_cast<Dim>(d)).values.size());
+  }
+  return n;
+}
+
+Money full_training_cost(const std::vector<int>& dim_order, int top_dims,
+                         Money avg_run_cost) {
+  return enumeration_size(dim_order, top_dims) * avg_run_cost;
+}
+
+}  // namespace acic::core

@@ -1,0 +1,119 @@
+// Training-data collection and the crowdsourced training database
+// (§2, §4.1): IOR runs over PB-selected dimensions of the exploration
+// space, stored as relative improvement over the baseline configuration
+// so that results from different reporters are comparable (§4.2's
+// "relative fitness" trick).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acic/common/csv.hpp"
+#include "acic/core/paramspace.hpp"
+#include "acic/ml/dataset.hpp"
+
+namespace acic::core {
+
+enum class Objective {
+  kPerformance,  ///< minimise total execution time
+  kCost,         ///< minimise monetary cost (paper Eq. 1)
+};
+
+const char* to_string(Objective o);
+
+struct TrainingSample {
+  Point point{};
+  double time = 0.0;           ///< measured run time, s
+  double cost = 0.0;           ///< measured run cost, $
+  double baseline_time = 0.0;  ///< same workload on the baseline config
+  double baseline_cost = 0.0;
+  std::uint64_t sequence = 0;  ///< insertion order (for data aging)
+
+  /// Relative improvement over baseline (higher is better).
+  double improvement(Objective o) const {
+    return o == Objective::kPerformance ? baseline_time / time
+                                        : baseline_cost / cost;
+  }
+};
+
+/// The shareable performance/cost database.  Incremental inserts model
+/// community contributions; `age_out` drops the oldest entries after a
+/// platform upgrade.
+class TrainingDatabase {
+ public:
+  void insert(TrainingSample sample);
+  const std::vector<TrainingSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Keep only the newest `keep_latest` samples.
+  void age_out(std::size_t keep_latest);
+
+  /// Feature matrix = the 15-D points, target = improvement(objective).
+  ml::Dataset to_dataset(Objective objective) const;
+
+  CsvTable to_csv() const;
+  static TrainingDatabase from_csv(const CsvTable& table);
+  void save(const std::string& path) const;
+  static TrainingDatabase load(const std::string& path);
+
+ private:
+  std::vector<TrainingSample> samples_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+/// How to sample the space when bootstrapping the database.
+struct TrainingPlan {
+  /// Explore `top_dims` dimensions in total; the rest stay at their
+  /// defaults.  With `always_explore_system_dims` (default), the six
+  /// system dimensions are always in the explored set — a recommender
+  /// can only rank configuration knobs it has actually varied — and the
+  /// PB ranking in `dim_order` selects which workload dimensions join
+  /// them.  Setting the flag false follows the paper's literal
+  /// top-k-of-the-full-ranking protocol.
+  std::vector<int> dim_order;
+  int top_dims = 10;
+  bool always_explore_system_dims = true;
+  /// Expandability hook: replacement sampled-value sets per dimension
+  /// (e.g. device {EBS, ephemeral, SSD} after a platform upgrade).  New
+  /// values extend the database without invalidating collected data.
+  ParamSpace::ValueOverrides value_overrides;
+  /// Upper bound on collected samples; the cartesian product of the
+  /// explored dimensions is sub-sampled uniformly when larger.
+  std::size_t max_samples = 500;
+  std::uint64_t seed = 1;
+  double jitter_sigma = 0.06;
+  /// Host threads for the independent simulations (0 = hardware).
+  unsigned threads = 0;
+};
+
+struct TrainingStats {
+  std::size_t runs = 0;            ///< IOR runs executed (incl. baselines)
+  double simulated_hours = 0.0;    ///< total simulated machine time
+  Money money = 0.0;               ///< what the runs would have cost on EC2
+};
+
+/// The neutral defaults used for unexplored dimensions (baseline config +
+/// a typical mid-range workload).
+Point default_point();
+
+/// Collect IOR training samples into `db` following `plan`.
+TrainingStats collect_training_data(TrainingDatabase& db,
+                                    const TrainingPlan& plan);
+
+/// The dimensions a TrainingPlan with these settings explores.
+std::vector<int> explored_dims(const std::vector<int>& dim_order,
+                               int top_dims,
+                               bool always_explore_system_dims = true);
+
+/// Size of the full cartesian product over the explored dimensions
+/// (Fig. 8's exponential x-axis).
+double enumeration_size(const std::vector<int>& dim_order, int top_dims);
+
+/// Estimated dollars to *exhaustively* train with `top_dims` dimensions,
+/// given an observed average per-run cost (Fig. 8, right axis).
+Money full_training_cost(const std::vector<int>& dim_order, int top_dims,
+                         Money avg_run_cost);
+
+}  // namespace acic::core

@@ -1,0 +1,23 @@
+#include "acic/fs/filesystem.hpp"
+
+#include "acic/common/error.hpp"
+#include "acic/fs/lustre.hpp"
+#include "acic/fs/nfs.hpp"
+#include "acic/fs/pvfs2.hpp"
+
+namespace acic::fs {
+
+std::unique_ptr<FileSystem> make_filesystem(cloud::ClusterModel& cluster,
+                                            const FsTuning& tuning) {
+  switch (cluster.options().config.fs) {
+    case cloud::FileSystemType::kNfs:
+      return std::make_unique<NfsModel>(cluster, tuning);
+    case cloud::FileSystemType::kPvfs2:
+      return std::make_unique<Pvfs2Model>(cluster, tuning);
+    case cloud::FileSystemType::kLustre:
+      return std::make_unique<LustreModel>(cluster, tuning);
+  }
+  throw Error("unknown file system type");
+}
+
+}  // namespace acic::fs

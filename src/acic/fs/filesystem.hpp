@@ -1,0 +1,99 @@
+// Shared / parallel file-system models: NFS and PVFS2.
+//
+// Both expose the same client-side contract: a `request()` coroutine that
+// performs one contiguous read or write from a rank, plus open/close
+// metadata operations.  The behavioural contrast that drives the paper's
+// results lives here:
+//
+//  * NFS — a single server; all traffic funnels through its NIC and
+//    device.  Per-request software overhead is low and the client-side
+//    write-back cache hides most of the device latency on writes, which is
+//    why NFS wins for applications issuing small amounts of POSIX I/O
+//    (paper §5.6 obs. 4).  Concurrent writers to one shared file pay a
+//    consistency/locking penalty.
+//
+//  * PVFS2 — data is striped round-robin in `stripe_size` units over N
+//    servers, so one large request fans out into parallel per-server
+//    transfers (aggregate bandwidth scales with servers, obs. 2), at the
+//    price of a higher per-request software cost and a per-stripe
+//    splitting cost.  Metadata operations serialise at the metadata
+//    server (server 0).  No shared-file locking penalty (PVFS2 has no
+//    POSIX lock semantics).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "acic/cloud/cluster.hpp"
+#include "acic/common/units.hpp"
+#include "acic/simcore/task.hpp"
+
+namespace acic::fs {
+
+/// Software-cost constants for the file-system models.  Exposed as a
+/// struct so the ablation benches can perturb them.
+struct FsTuning {
+  // NFS
+  SimTime nfs_client_overhead = 0.15 * kMillisecond;
+  SimTime nfs_server_overhead = 0.10 * kMillisecond;
+  /// Fraction of device latency a write pays (write-back cache absorbs
+  /// the rest); reads pay the full seek.
+  double nfs_write_latency_factor = 0.25;
+  SimTime nfs_shared_write_penalty = 0.60 * kMillisecond;
+  SimTime nfs_open_cost = 0.20 * kMillisecond;
+  SimTime nfs_close_cost = 0.50 * kMillisecond;  // close-to-open flush
+  /// Fraction of the server instance's RAM usable as write-back cache
+  /// (0 disables the cache entirely — the ablation knob).
+  double nfs_cache_fraction = 0.5;
+
+  // PVFS2
+  SimTime pvfs_client_overhead = 0.45 * kMillisecond;
+  SimTime pvfs_server_overhead = 0.20 * kMillisecond;
+  SimTime pvfs_per_stripe_cpu = 0.015 * kMillisecond;
+  double pvfs_write_latency_factor = 0.9;  // direct I/O, no client cache
+  double pvfs_read_latency_factor = 1.0;
+  SimTime pvfs_mds_op_cost = 0.50 * kMillisecond;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Perform one contiguous request of `bytes` issued by `rank`.
+  /// `shared_file` marks requests into a single file shared by all ranks.
+  ///
+  /// `op_weight` supports the middleware's request coalescing: a call
+  /// with weight w stands for w back-to-back application requests whose
+  /// payloads have been merged into `bytes`.  Every fixed per-request
+  /// cost (software overhead, RPC, seek) is charged w times; bandwidth
+  /// terms are unchanged.  This bounds simulated event counts for jobs
+  /// issuing millions of small calls without altering their totals.
+  virtual sim::Task request(int rank, Bytes bytes, bool is_write,
+                            bool shared_file, double op_weight = 1.0) = 0;
+
+  /// Metadata: open one file on behalf of `rank`.
+  virtual sim::Task open_file(int rank) = 0;
+  /// Metadata: close/flush.
+  virtual sim::Task close_file(int rank) = 0;
+
+  virtual const char* name() const = 0;
+
+  std::uint64_t requests_served() const { return requests_; }
+  Bytes bytes_moved() const { return bytes_; }
+
+ protected:
+  void account(Bytes bytes, double op_weight) {
+    requests_ += static_cast<std::uint64_t>(op_weight + 0.5);
+    bytes_ += bytes;
+  }
+
+ private:
+  std::uint64_t requests_ = 0;
+  Bytes bytes_ = 0.0;
+};
+
+/// Instantiate the model selected by the cluster's IoConfig.
+std::unique_ptr<FileSystem> make_filesystem(cloud::ClusterModel& cluster,
+                                            const FsTuning& tuning = {});
+
+}  // namespace acic::fs

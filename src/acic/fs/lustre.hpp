@@ -1,0 +1,47 @@
+// Lustre model — an extension file system (§3.1 names Lustre and GPFS as
+// the parallel file systems large clusters deploy; §8 plans support for
+// "incrementally new I/O configurations").  Structurally it is a striped
+// parallel file system like PVFS2, with Lustre's distinguishing traits:
+//
+//  * object storage servers with threaded request pipelines — lower
+//    per-request server cost and a slightly better write path than our
+//    PVFS2 model;
+//  * distributed lock management (LDLM): shared-file writes pay a small
+//    per-request lock acquisition, unlike PVFS2's lock-free semantics
+//    (and far cheaper than NFS's whole-file consistency penalty);
+//  * a dedicated metadata target with faster open/close service.
+//
+// Deploying it needs nothing new anywhere else: IoConfig carries it as an
+// extension value of the file-system dimension, and ACIC learns it from
+// contributed training batches exactly like the SSD rollout.
+#pragma once
+
+#include "acic/fs/filesystem.hpp"
+
+namespace acic::fs {
+
+class LustreModel final : public FileSystem {
+ public:
+  LustreModel(cloud::ClusterModel& cluster, FsTuning tuning);
+
+  sim::Task request(int rank, Bytes bytes, bool is_write, bool shared_file,
+                    double op_weight) override;
+  sim::Task open_file(int rank) override;
+  sim::Task close_file(int rank) override;
+  const char* name() const override { return "Lustre"; }
+
+  /// Distinct object servers one request of `bytes` touches.
+  int servers_touched(Bytes bytes) const;
+
+ private:
+  sim::Task server_chunk(int rank, int server, Bytes bytes, bool is_write,
+                         double op_weight);
+  sim::Task mdt_op(int rank, double cost_scale);
+
+  cloud::ClusterModel& cluster_;
+  FsTuning tuning_;
+  Bytes stripe_;
+  int servers_;
+};
+
+}  // namespace acic::fs

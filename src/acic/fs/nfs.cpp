@@ -1,0 +1,104 @@
+#include "acic/fs/nfs.hpp"
+
+#include <algorithm>
+
+#include "acic/common/units.hpp"
+
+namespace acic::fs {
+
+namespace {
+constexpr int kServer = 0;  // NFS has exactly one server
+}
+
+NfsModel::NfsModel(cloud::ClusterModel& cluster, FsTuning tuning)
+    : cluster_(cluster), tuning_(tuning) {
+  cache_capacity_ =
+      tuning_.nfs_cache_fraction * cluster_.spec().memory_gb * GiB;
+}
+
+void NfsModel::drain_to_now() const {
+  const SimTime now = cluster_.simulator().now();
+  const double rate = cluster_.drain_bandwidth(kServer);
+  dirty_ = std::max(0.0, dirty_ - (now - last_drain_) * rate);
+  last_drain_ = now;
+}
+
+Bytes NfsModel::dirty_bytes() const {
+  drain_to_now();
+  return dirty_;
+}
+
+sim::Task NfsModel::request(int rank, Bytes bytes, bool is_write,
+                            bool shared_file, double op_weight) {
+  account(bytes, op_weight);
+  auto& sim = cluster_.simulator();
+
+  // Client-side software cost.
+  co_await sim.delay(tuning_.nfs_client_overhead * op_weight);
+  if (!cluster_.rank_colocated_with_server(rank, kServer)) {
+    co_await sim.delay(cluster_.network_rpc_latency() * op_weight);
+  }
+  if (is_write && shared_file) {
+    // Concurrent writers to one file fight over attribute/lock state.
+    co_await sim.delay(tuning_.nfs_shared_write_penalty * op_weight);
+  }
+
+  drain_to_now();
+  const bool absorbed =
+      is_write && (dirty_ + bytes <= cache_capacity_);
+
+  // Serialized server-side service: software + seek where the device is
+  // actually touched (cache-absorbed writes skip the seek entirely).
+  double latency_factor = 1.0;
+  if (is_write) {
+    latency_factor = absorbed ? 0.0 : tuning_.nfs_write_latency_factor;
+  }
+  auto& queue = cluster_.server_op_queue(kServer);
+  co_await queue.acquire();
+  co_await sim.delay((tuning_.nfs_server_overhead +
+                      cluster_.device_latency(kServer) * latency_factor) *
+                     op_weight);
+  queue.release();
+
+  // Payload transfer.
+  if (absorbed) {
+    auto path = cluster_.cached_write_path(rank, kServer);
+    if (path.empty()) {
+      // Local memory copy.
+      co_await sim.delay(bytes / 6.0e9);
+    } else {
+      co_await cluster_.network().transfer(std::move(path), bytes);
+    }
+    drain_to_now();
+    dirty_ += bytes;
+  } else {
+    auto path = is_write ? cluster_.write_path(rank, kServer)
+                         : cluster_.read_path(rank, kServer);
+    co_await cluster_.network().transfer(std::move(path), bytes);
+  }
+}
+
+sim::Task NfsModel::metadata_op(int rank, SimTime cost) {
+  auto& sim = cluster_.simulator();
+  if (!cluster_.rank_colocated_with_server(rank, kServer)) {
+    co_await sim.delay(cluster_.network_rpc_latency());
+  }
+  auto& queue = cluster_.server_op_queue(kServer);
+  co_await queue.acquire();
+  co_await sim.delay(cost);
+  queue.release();
+}
+
+sim::Task NfsModel::open_file(int rank) {
+  co_await metadata_op(rank, tuning_.nfs_open_cost);
+}
+
+sim::Task NfsModel::close_file(int rank) {
+  // Async export: close flushes *client* pages (already modelled as part
+  // of the transfer), but the server acks before its own disk write-back
+  // completes — the dirty set may outlive the application, exactly as on
+  // the paper's EC2 setup.  Only the metadata round-trip is paid here.
+  co_await metadata_op(rank, tuning_.nfs_close_cost);
+}
+
+}  // namespace acic::fs

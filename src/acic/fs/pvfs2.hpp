@@ -1,0 +1,36 @@
+// PVFS2 model: round-robin striping over N data servers with a metadata
+// server co-located on server 0.  See filesystem.hpp for the behavioural
+// contrast with NFS.
+#pragma once
+
+#include "acic/fs/filesystem.hpp"
+
+namespace acic::fs {
+
+class Pvfs2Model final : public FileSystem {
+ public:
+  Pvfs2Model(cloud::ClusterModel& cluster, FsTuning tuning);
+
+  sim::Task request(int rank, Bytes bytes, bool is_write, bool shared_file,
+                    double op_weight) override;
+  sim::Task open_file(int rank) override;
+  sim::Task close_file(int rank) override;
+  const char* name() const override { return "PVFS2"; }
+
+  /// How many distinct servers a request of `bytes` touches (exposed for
+  /// tests: small requests on large stripes hit one server; large
+  /// requests fan out to all of them).
+  int servers_touched(Bytes bytes) const;
+
+ private:
+  sim::Task server_chunk(int rank, int server, Bytes bytes, bool is_write,
+                         double op_weight);
+  sim::Task mds_op(int rank);
+
+  cloud::ClusterModel& cluster_;
+  FsTuning tuning_;
+  Bytes stripe_;
+  int servers_;
+};
+
+}  // namespace acic::fs

@@ -1,0 +1,62 @@
+#include "acic/io/runner.hpp"
+
+#include "acic/cloud/cluster.hpp"
+#include "acic/cloud/failure.hpp"
+#include "acic/common/error.hpp"
+#include "acic/io/middleware.hpp"
+#include "acic/mpi/runtime.hpp"
+#include "acic/simcore/simulator.hpp"
+
+namespace acic::io {
+
+RunResult run_workload(const Workload& workload,
+                       const cloud::IoConfig& config,
+                       const RunOptions& options) {
+  Workload w = workload;
+  w.normalize();
+  ACIC_CHECK_MSG(w.valid(), "invalid workload " << w.name);
+  ACIC_CHECK_MSG(config.valid(), "invalid IoConfig " << config.label());
+
+  sim::Simulator simulator;
+  cloud::ClusterModel::Options copts;
+  copts.num_processes = w.num_processes;
+  copts.config = config;
+  copts.jitter_sigma = options.jitter_sigma;
+  copts.seed = options.seed;
+  cloud::ClusterModel cluster(simulator, copts);
+
+  mpi::Runtime mpi(cluster);
+  auto filesystem = fs::make_filesystem(cluster, options.tuning);
+  ParallelIo middleware(cluster, mpi, *filesystem, options.tracer);
+
+  cloud::FailureInjector injector(cluster);
+  if (options.failures_per_hour > 0.0) {
+    // Schedule outages over a generous horizon; outages beyond the job's
+    // actual end simply never fire.
+    Rng rng(options.seed ^ 0xfa17u);
+    injector.inject_random(rng, options.failures_per_hour,
+                           /*horizon=*/24.0 * kHour);
+  }
+
+  for (int rank = 0; rank < w.num_processes; ++rank) {
+    simulator.spawn(middleware.run_rank(rank, w));
+  }
+  simulator.run_until_processes_done();
+
+  RunResult result;
+  result.total_time = simulator.now();
+  result.fs_requests = filesystem->requests_served();
+  if (options.detailed_pricing) {
+    result.cost = options.detailed_pricing->run_cost(
+        cluster, result.total_time, result.fs_requests);
+  } else {
+    result.cost = cluster.cost_of(result.total_time);  // paper Eq. (1)
+  }
+  result.io_time = middleware.io_time();
+  result.num_instances = cluster.num_instances();
+  result.fs_bytes = filesystem->bytes_moved();
+  result.sim_events = simulator.events_executed();
+  return result;
+}
+
+}  // namespace acic::io

@@ -1,0 +1,50 @@
+// One-shot workload execution: provisions a cluster for an IoConfig,
+// spawns one coroutine per rank, runs the simulation to completion and
+// reports time / cost / I/O statistics.  This is the "run it on the
+// cloud" primitive used by IOR training sweeps, application evaluation,
+// space walking and every bench harness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/cloud/pricing.hpp"
+#include "acic/common/units.hpp"
+#include "acic/fs/filesystem.hpp"
+#include "acic/io/workload.hpp"
+#include "acic/profiler/tracer.hpp"
+
+namespace acic::io {
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  /// Multi-tenant capacity jitter (log-normal sigma).
+  double jitter_sigma = 0.06;
+  /// Mean transient-outage rate across the job (0 = reliable run).
+  double failures_per_hour = 0.0;
+  fs::FsTuning tuning = {};
+  /// Optional logical-request tracer (the profiling tool's tap).
+  profiler::IoTracer* tracer = nullptr;
+  /// When set, `cost` includes EBS volume-hour and per-I/O surcharges
+  /// instead of the paper's pure Eq. (1).
+  std::optional<cloud::DetailedPricing> detailed_pricing;
+};
+
+struct RunResult {
+  SimTime total_time = 0.0;  ///< job wall time, seconds
+  Money cost = 0.0;          ///< paper Eq. (1)
+  SimTime io_time = 0.0;     ///< wall time inside I/O phases
+  int num_instances = 0;     ///< billed instances
+  std::uint64_t fs_requests = 0;
+  Bytes fs_bytes = 0.0;
+  std::uint64_t sim_events = 0;
+};
+
+/// Execute `workload` under `config`.  Deterministic for a given seed.
+/// Throws acic::Error on invalid inputs or if the job deadlocks.
+RunResult run_workload(const Workload& workload,
+                       const cloud::IoConfig& config,
+                       const RunOptions& options = {});
+
+}  // namespace acic::io

@@ -1,0 +1,59 @@
+// IOR-equivalent synthetic parallel I/O benchmark.
+//
+// ACIC's reusable training runs a generic synthetic benchmark instead of
+// real applications so that one training database serves every future
+// query.  This module mirrors the IOR command-line surface (LLNL's
+// parameterized synthetic benchmark the paper trains with): block size,
+// transfer size, segment count, API, collective mode, file-per-process,
+// read/write selection and task counts, and executes the resulting
+// workload on a candidate cloud I/O configuration.
+#pragma once
+
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/io/runner.hpp"
+#include "acic/io/workload.hpp"
+
+namespace acic::ior {
+
+/// Fluent builder mirroring IOR's option names:
+///   IorBench().api("MPIIO").tasks(64).block_size(16 * MiB)
+///             .transfer_size(4 * MiB).segments(10).collective(true)
+///             .write_only().build()
+class IorBench {
+ public:
+  /// -a: POSIX | MPIIO | HDF5 | NCMPI
+  IorBench& api(const std::string& name);
+  /// -N: number of MPI tasks.
+  IorBench& tasks(int n);
+  /// Number of tasks that perform I/O (ACIC's "I/O processes" knob; IOR
+  /// itself uses task subsetting for this).
+  IorBench& io_tasks(int n);
+  /// -b: per-task data volume per segment.
+  IorBench& block_size(Bytes b);
+  /// -t: bytes per I/O call.
+  IorBench& transfer_size(Bytes b);
+  /// -s: segment count (ACIC's iteration count).
+  IorBench& segments(int n);
+  /// -c: collective I/O.
+  IorBench& collective(bool on);
+  /// -F: file per process (off = single shared file).
+  IorBench& file_per_process(bool on);
+  IorBench& write_only();
+  IorBench& read_only();
+  IorBench& read_and_write();
+
+  /// Materialise the workload (throws on invalid combinations).
+  io::Workload build() const;
+
+ private:
+  io::Workload w_ = default_workload();
+  static io::Workload default_workload();
+};
+
+/// Execute one IOR run on a candidate configuration (the training
+/// primitive: one (config, characteristics) -> (time, cost) sample).
+io::RunResult run_ior(const io::Workload& workload,
+                      const cloud::IoConfig& config,
+                      const io::RunOptions& options = {});
+
+}  // namespace acic::ior

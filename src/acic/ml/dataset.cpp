@@ -1,0 +1,38 @@
+#include "acic/ml/dataset.hpp"
+
+#include "acic/common/error.hpp"
+
+namespace acic::ml {
+
+void Dataset::add(std::vector<double> features, double target) {
+  if (!x.empty()) {
+    ACIC_CHECK_MSG(features.size() == x.front().size(),
+                   "inconsistent feature arity");
+  }
+  x.push_back(std::move(features));
+  y.push_back(target);
+}
+
+std::pair<Dataset, Dataset> Dataset::split_validation(
+    std::size_t every_kth) const {
+  ACIC_CHECK(every_kth >= 2);
+  Dataset train, val;
+  for (std::size_t i = 0; i < rows(); ++i) {
+    auto& part = (i % every_kth == every_kth - 1) ? val : train;
+    part.x.push_back(x[i]);
+    part.y.push_back(y[i]);
+  }
+  return {std::move(train), std::move(val)};
+}
+
+double mse(const Learner& model, const Dataset& data) {
+  ACIC_CHECK(data.rows() > 0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const double e = model.predict(data.x[i]) - data.y[i];
+    sum += e * e;
+  }
+  return sum / static_cast<double>(data.rows());
+}
+
+}  // namespace acic::ml

@@ -1,0 +1,40 @@
+// Supervised-regression dataset and the learner interface ACIC plugs its
+// prediction models into (§4.2: "different learning algorithms can be
+// easily plugged in").
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acic::ml {
+
+struct Dataset {
+  /// Row-major feature matrix; all rows share x.front().size() features.
+  std::vector<std::vector<double>> x;
+  /// Regression targets, one per row.
+  std::vector<double> y;
+
+  std::size_t rows() const { return x.size(); }
+  std::size_t features() const { return x.empty() ? 0 : x.front().size(); }
+
+  void add(std::vector<double> features, double target);
+
+  /// Deterministic split into train/validation parts (every k-th row goes
+  /// to validation).
+  std::pair<Dataset, Dataset> split_validation(std::size_t every_kth) const;
+};
+
+class Learner {
+ public:
+  virtual ~Learner() = default;
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(std::span<const double> features) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mean squared prediction error over a dataset.
+double mse(const Learner& model, const Dataset& data);
+
+}  // namespace acic::ml

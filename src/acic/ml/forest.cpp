@@ -1,0 +1,49 @@
+#include "acic/ml/forest.hpp"
+
+#include <cmath>
+
+#include "acic/common/error.hpp"
+#include "acic/common/rng.hpp"
+#include "acic/common/stats.hpp"
+
+namespace acic::ml {
+
+void ForestRegressor::fit(const Dataset& data) {
+  ACIC_CHECK(data.rows() > 0);
+  ACIC_CHECK(params_.trees >= 1);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.trees));
+  Rng rng(params_.seed);
+  const std::size_t draws = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.bootstrap_fraction *
+                                  static_cast<double>(data.rows())));
+  for (int t = 0; t < params_.trees; ++t) {
+    Dataset boot;
+    boot.x.reserve(draws);
+    boot.y.reserve(draws);
+    for (std::size_t i = 0; i < draws; ++i) {
+      const std::size_t row =
+          static_cast<std::size_t>(rng.uniform_index(data.rows()));
+      boot.x.push_back(data.x[row]);
+      boot.y.push_back(data.y[row]);
+    }
+    trees_.push_back(CartTree::train(boot, params_.tree_params));
+  }
+}
+
+double ForestRegressor::predict(std::span<const double> features) const {
+  ACIC_CHECK_MSG(!trees_.empty(), "predict() on an unfitted forest");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+double ForestRegressor::prediction_stddev(
+    std::span<const double> features) const {
+  ACIC_CHECK_MSG(!trees_.empty(), "prediction_stddev() on unfitted forest");
+  OnlineStats stats;
+  for (const auto& tree : trees_) stats.add(tree.predict(features));
+  return stats.stddev();
+}
+
+}  // namespace acic::ml

@@ -1,0 +1,36 @@
+#include "acic/profiler/replay.hpp"
+
+#include "acic/common/error.hpp"
+
+namespace acic::profiler {
+
+io::RunResult replay_trace(const IoTracer& trace,
+                           const cloud::IoConfig& config,
+                           const io::RunOptions& options) {
+  io::Workload w = trace.infer_workload();
+  w.name = "replay";
+  io::RunOptions opts = options;
+  opts.tracer = nullptr;  // do not re-trace the replay
+  return io::run_workload(w, config, opts);
+}
+
+ReplayFidelity replay_fidelity(const io::Workload& workload,
+                               const cloud::IoConfig& config,
+                               const io::RunOptions& options) {
+  IoTracer tracer;
+  io::RunOptions traced = options;
+  traced.tracer = &tracer;
+  io::Workload original = workload;
+  // Compare I/O behaviour: strip app-side phases from both sides.
+  original.compute_per_iteration = 0.0;
+  original.comm_per_iteration = 0.0;
+  const auto real = io::run_workload(original, config, traced);
+  const auto synthetic = replay_trace(tracer, config, options);
+  ACIC_CHECK(real.total_time > 0.0 && real.fs_bytes > 0.0);
+  ReplayFidelity f;
+  f.time_ratio = synthetic.total_time / real.total_time;
+  f.bytes_ratio = synthetic.fs_bytes / real.fs_bytes;
+  return f;
+}
+
+}  // namespace acic::profiler

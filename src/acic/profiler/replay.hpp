@@ -1,0 +1,35 @@
+// Trace replay (§2 lists application case studies, benchmarks and trace
+// replays as training-data sources).  A recorded application trace is
+// reduced to its characteristic 9-tuple and re-executed as a synthetic
+// workload on any candidate configuration — profile once on whatever
+// setup is handy, then evaluate everywhere.
+#pragma once
+
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/io/runner.hpp"
+#include "acic/profiler/tracer.hpp"
+
+namespace acic::profiler {
+
+/// Replay fidelity report: how closely the synthetic stand-in tracks the
+/// original application on the configuration where both were run.
+struct ReplayFidelity {
+  double time_ratio = 0.0;  ///< replay time / original time
+  Bytes bytes_ratio = 0.0;  ///< replay bytes / original bytes
+};
+
+/// Re-execute the traced workload on `config`.  Compute/communication
+/// phases are not part of the trace (the paper's profiler sees only I/O
+/// primitives), so the replay measures the I/O-side behaviour — exactly
+/// what configuration search needs.
+io::RunResult replay_trace(const IoTracer& trace,
+                           const cloud::IoConfig& config,
+                           const io::RunOptions& options = {});
+
+/// Convenience check: profile `workload` on `config`, replay the trace on
+/// the same config, and report how well I/O times line up.
+ReplayFidelity replay_fidelity(const io::Workload& workload,
+                               const cloud::IoConfig& config,
+                               const io::RunOptions& options = {});
+
+}  // namespace acic::profiler

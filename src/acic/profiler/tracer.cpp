@@ -1,0 +1,92 @@
+#include "acic/profiler/tracer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "acic/common/error.hpp"
+#include "acic/common/stats.hpp"
+
+namespace acic::profiler {
+
+void IoTracer::record(int rank, Bytes total_bytes, Bytes request_bytes,
+                      double ops, bool is_write, SimTime at, int iteration) {
+  records_.push_back(TraceRecord{rank, total_bytes, request_bytes, ops,
+                                 is_write, at, iteration});
+}
+
+void IoTracer::set_job_info(int num_processes, io::IoInterface interface,
+                            bool collective, bool file_shared) {
+  num_processes_ = num_processes;
+  interface_ = interface;
+  collective_ = collective;
+  file_shared_ = file_shared;
+  job_info_set_ = true;
+}
+
+std::uint64_t IoTracer::op_count(bool writes) const {
+  double n = 0.0;
+  for (const auto& r : records_) {
+    if (r.is_write == writes) n += r.op_count;
+  }
+  return static_cast<std::uint64_t>(n + 0.5);
+}
+
+Bytes IoTracer::byte_count(bool writes) const {
+  Bytes b = 0.0;
+  for (const auto& r : records_) {
+    if (r.is_write == writes) b += r.total_bytes;
+  }
+  return b;
+}
+
+io::Workload IoTracer::infer_workload() const {
+  ACIC_CHECK_MSG(job_info_set_, "set_job_info() must be called before "
+                                "infer_workload()");
+  ACIC_CHECK_MSG(!records_.empty(), "empty trace");
+
+  io::Workload w;
+  w.name = "profiled";
+  w.num_processes = num_processes_;
+  w.interface = interface_;
+  w.collective = collective_;
+  w.file_shared = file_shared_;
+
+  std::set<int> io_ranks;
+  std::set<int> iterations;
+  std::vector<double> request_sizes;
+  Bytes read_bytes = 0.0, write_bytes = 0.0;
+  request_sizes.reserve(records_.size());
+  for (const auto& r : records_) {
+    io_ranks.insert(r.rank);
+    iterations.insert(r.iteration);
+    request_sizes.push_back(r.request_bytes);
+    (r.is_write ? write_bytes : read_bytes) += r.total_bytes;
+  }
+  w.num_io_processes = static_cast<int>(io_ranks.size());
+  w.iterations = static_cast<int>(iterations.size());
+  w.request_size = median_of(request_sizes);
+
+  if (read_bytes > 0.0 && write_bytes > 0.0) {
+    w.op = io::OpMix::kReadWrite;
+  } else if (read_bytes > 0.0) {
+    w.op = io::OpMix::kRead;
+  } else {
+    w.op = io::OpMix::kWrite;
+  }
+
+  // Bytes one I/O process moves per iteration, per direction (the
+  // read+write mix counts each direction once, as IOR does).
+  const double directions = (w.op == io::OpMix::kReadWrite) ? 2.0 : 1.0;
+  w.data_size = (read_bytes + write_bytes) /
+                (directions * static_cast<double>(w.num_io_processes) *
+                 static_cast<double>(w.iterations));
+  w.normalize();
+  return w;
+}
+
+void IoTracer::clear() {
+  records_.clear();
+  job_info_set_ = false;
+}
+
+}  // namespace acic::profiler

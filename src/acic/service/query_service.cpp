@@ -1,0 +1,213 @@
+#include "acic/service/query_service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "acic/common/error.hpp"
+
+namespace acic::service {
+
+namespace {
+
+std::map<std::string, std::string> parse_pairs(const std::string& line) {
+  std::map<std::string, std::string> kv;
+  std::istringstream is(line);
+  std::string token;
+  is >> token;  // skip the verb
+  while (is >> token) {
+    const auto eq = token.find('=');
+    ACIC_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "expected key=value, got '" << token << "'");
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+bool parse_bool(const std::string& v) {
+  if (v == "yes" || v == "true" || v == "1" || v == "on") return true;
+  if (v == "no" || v == "false" || v == "0" || v == "off") return false;
+  throw Error("expected yes/no, got '" + v + "'");
+}
+
+core::Objective parse_objective(const std::string& v) {
+  if (v == "performance" || v == "perf" || v == "time") {
+    return core::Objective::kPerformance;
+  }
+  if (v == "cost" || v == "money") return core::Objective::kCost;
+  throw Error("unknown objective '" + v + "'");
+}
+
+cloud::IoConfig config_by_label(const std::string& label) {
+  for (const auto& c : cloud::IoConfig::enumerate_candidates()) {
+    if (c.label() == label) return c;
+  }
+  throw Error("unknown config label '" + label + "'");
+}
+
+std::string verb_of(const std::string& line) {
+  std::istringstream is(line);
+  std::string verb;
+  is >> verb;
+  return verb;
+}
+
+}  // namespace
+
+Bytes parse_size(const std::string& text) {
+  ACIC_CHECK_MSG(!text.empty(), "empty size literal");
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  std::string unit = text.substr(pos);
+  std::transform(unit.begin(), unit.end(), unit.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (unit.empty() || unit == "b") return value;
+  if (unit == "kib" || unit == "kb" || unit == "k") return value * KiB;
+  if (unit == "mib" || unit == "mb" || unit == "m") return value * MiB;
+  if (unit == "gib" || unit == "gb" || unit == "g") return value * GiB;
+  if (unit == "tib" || unit == "tb" || unit == "t") return value * TiB;
+  throw Error("unknown size unit '" + unit + "'");
+}
+
+io::Workload parse_workload_query(const std::string& line) {
+  const auto kv = parse_pairs(line);
+  io::Workload w;
+  w.name = "query";
+  for (const auto& [key, value] : kv) {
+    if (key == "objective" || key == "top_k" || key == "config") continue;
+    if (key == "np") {
+      w.num_processes = std::stoi(value);
+    } else if (key == "io_procs") {
+      w.num_io_processes = std::stoi(value);
+    } else if (key == "interface") {
+      w.interface = io::interface_from_string(value);
+    } else if (key == "iterations") {
+      w.iterations = std::stoi(value);
+    } else if (key == "data") {
+      w.data_size = parse_size(value);
+    } else if (key == "request") {
+      w.request_size = parse_size(value);
+    } else if (key == "op") {
+      w.op = io::opmix_from_string(value);
+    } else if (key == "collective") {
+      w.collective = parse_bool(value);
+    } else if (key == "shared") {
+      w.file_shared = parse_bool(value);
+    } else {
+      throw Error("unknown workload key '" + key + "'");
+    }
+  }
+  w.normalize();
+  ACIC_CHECK_MSG(w.valid(), "query describes an invalid workload");
+  return w;
+}
+
+QueryService::QueryService(core::TrainingDatabase database,
+                           core::PbRankingResult ranking)
+    : database_(std::move(database)), ranking_(std::move(ranking)) {}
+
+void QueryService::update_database(core::TrainingDatabase database) {
+  database_ = std::move(database);
+  perf_model_.reset();
+  cost_model_.reset();
+}
+
+const core::Acic& QueryService::model_for(core::Objective objective) {
+  auto& slot = objective == core::Objective::kPerformance ? perf_model_
+                                                          : cost_model_;
+  if (!slot) slot = std::make_unique<core::Acic>(database_, objective);
+  return *slot;
+}
+
+std::string QueryService::handle(const std::string& request_line) {
+  try {
+    const std::string verb = verb_of(request_line);
+    if (verb == "recommend") return handle_recommend(request_line);
+    if (verb == "predict") return handle_predict(request_line);
+    if (verb == "rank") return handle_rank(request_line);
+    if (verb == "stats") return handle_stats();
+    if (verb == "help" || verb.empty()) return help_text();
+    return "error unknown verb '" + verb + "' (try: help)\n";
+  } catch (const std::exception& e) {
+    return std::string("error ") + e.what() + "\n";
+  }
+}
+
+std::string QueryService::handle_recommend(const std::string& line) {
+  const auto kv = parse_pairs(line);
+  const auto obj_it = kv.find("objective");
+  const core::Objective objective =
+      obj_it == kv.end() ? core::Objective::kPerformance
+                         : parse_objective(obj_it->second);
+  const auto k_it = kv.find("top_k");
+  const std::size_t top_k =
+      k_it == kv.end() ? 3 : std::stoul(k_it->second);
+  const auto traits = parse_workload_query(line);
+
+  const auto recs = model_for(objective).recommend(traits, top_k);
+  std::ostringstream os;
+  os << "ok " << recs.size() << " recommendations (objective="
+     << core::to_string(objective) << ")\n";
+  for (const auto& r : recs) {
+    os << "  " << r.config.label() << " predicted_improvement="
+       << r.predicted_improvement << "\n";
+  }
+  return os.str();
+}
+
+std::string QueryService::handle_predict(const std::string& line) {
+  const auto kv = parse_pairs(line);
+  const auto cfg_it = kv.find("config");
+  ACIC_CHECK_MSG(cfg_it != kv.end(), "predict needs config=<label>");
+  const auto config = config_by_label(cfg_it->second);
+  const auto obj_it = kv.find("objective");
+  const core::Objective objective =
+      obj_it == kv.end() ? core::Objective::kPerformance
+                         : parse_objective(obj_it->second);
+  const auto traits = parse_workload_query(line);
+  const double improvement = model_for(objective).predict(config, traits);
+  std::ostringstream os;
+  os << "ok predicted_improvement=" << improvement << " config="
+     << config.label() << " objective=" << core::to_string(objective)
+     << "\n";
+  return os.str();
+}
+
+std::string QueryService::handle_rank(const std::string& line) {
+  const auto kv = parse_pairs(line);
+  const auto top_it = kv.find("top");
+  std::size_t top = top_it == kv.end()
+                        ? ranking_.importance.size()
+                        : std::stoul(top_it->second);
+  top = std::min(top, ranking_.importance.size());
+  std::ostringstream os;
+  os << "ok " << top << " dimensions by PB importance\n";
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto dim = static_cast<core::Dim>(ranking_.importance[i]);
+    os << "  " << (i + 1) << ". "
+       << core::ParamSpace::dimension(dim).name << "\n";
+  }
+  return os.str();
+}
+
+std::string QueryService::handle_stats() const {
+  std::ostringstream os;
+  os << "ok database=" << database_.size() << " samples, "
+     << cloud::IoConfig::enumerate_candidates().size()
+     << " candidate configs\n";
+  return os.str();
+}
+
+std::string QueryService::help_text() {
+  return
+      "ok commands\n"
+      "  recommend objective=performance|cost top_k=N <workload keys>\n"
+      "  predict config=<label> objective=... <workload keys>\n"
+      "  rank [top=N]\n"
+      "  stats\n"
+      "  workload keys: np io_procs interface iterations data request op\n"
+      "                 collective shared (sizes like 4MiB, 256KiB)\n";
+}
+
+}  // namespace acic::service

@@ -1,0 +1,67 @@
+// Configuration query service — the paper's §8 future work ("web-based
+// ACIC query service") realised as a transport-agnostic request/response
+// engine: a line-oriented text protocol any front end (CLI, web gateway,
+// batch script) can speak.
+//
+// Protocol (one request per line, key=value pairs, order-free):
+//
+//   recommend objective=performance top_k=3 np=256 io_procs=256
+//             interface=MPI-IO iterations=40 data=4MiB request=4MiB
+//             op=write collective=yes shared=yes
+//   predict   config=pvfs.4.D.eph <same workload keys>
+//   rank      [top=N]                     — PB dimension ranking
+//   stats                                 — database summary
+//   help
+//
+// Responses are "ok ..." / "error ..." lines followed by indented detail
+// rows, so they stay greppable and machine-parseable.
+#pragma once
+
+#include <string>
+
+#include "acic/core/predictor.hpp"
+#include "acic/core/ranking.hpp"
+#include "acic/core/training.hpp"
+
+namespace acic::service {
+
+/// Parse a size literal: "4MiB", "256KiB", "1.5GiB", "2048" (bytes).
+Bytes parse_size(const std::string& text);
+
+/// Parse one protocol line into a workload description.  Unknown keys
+/// throw; missing keys keep the defaults below.
+io::Workload parse_workload_query(const std::string& line);
+
+class QueryService {
+ public:
+  /// The service owns its models; it trains one per objective lazily
+  /// from the shared database snapshot.
+  QueryService(core::TrainingDatabase database,
+               core::PbRankingResult ranking);
+
+  /// Handle one protocol line; never throws — malformed input yields an
+  /// "error ..." response.
+  std::string handle(const std::string& request_line);
+
+  /// Refresh the database snapshot (a crowdsourced contribution batch)
+  /// and invalidate trained models.
+  void update_database(core::TrainingDatabase database);
+
+  std::size_t database_size() const { return database_.size(); }
+
+ private:
+  std::string handle_recommend(const std::string& line);
+  std::string handle_predict(const std::string& line);
+  std::string handle_rank(const std::string& line);
+  std::string handle_stats() const;
+  static std::string help_text();
+
+  const core::Acic& model_for(core::Objective objective);
+
+  core::TrainingDatabase database_;
+  core::PbRankingResult ranking_;
+  std::unique_ptr<core::Acic> perf_model_;
+  std::unique_ptr<core::Acic> cost_model_;
+};
+
+}  // namespace acic::service

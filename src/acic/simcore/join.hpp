@@ -1,0 +1,50 @@
+// Fork/join helper for coroutine processes: run several Tasks concurrently
+// and resume the caller when every one has finished.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "acic/simcore/simulator.hpp"
+#include "acic/simcore/sync.hpp"
+#include "acic/simcore/task.hpp"
+
+namespace acic::sim {
+
+namespace detail {
+
+struct JoinState {
+  explicit JoinState(Simulator& sim, std::size_t n)
+      : remaining(n), cond(sim) {}
+  std::size_t remaining;
+  Condition cond;
+};
+
+inline Task run_and_count(Task inner, std::shared_ptr<JoinState> state) {
+  co_await std::move(inner);
+  if (--state->remaining == 0) state->cond.notify_all();
+}
+
+}  // namespace detail
+
+/// Launch every task concurrently on `sim` and suspend the caller until
+/// all of them complete.  Exceptions escaping a child surface from
+/// Simulator::run() (children are detached processes).
+inline Task when_all(Simulator& sim, std::vector<Task> tasks) {
+  if (tasks.empty()) co_return;
+  if (tasks.size() == 1) {
+    // Single child: run it inline, no join bookkeeping.
+    co_await std::move(tasks.front());
+    co_return;
+  }
+  auto state = std::make_shared<detail::JoinState>(sim, tasks.size());
+  for (auto& t : tasks) {
+    sim.spawn(detail::run_and_count(std::move(t), state));
+  }
+  while (state->remaining > 0) {
+    co_await state->cond.wait();
+  }
+}
+
+}  // namespace acic::sim

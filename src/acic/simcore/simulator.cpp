@@ -1,0 +1,98 @@
+#include "acic/simcore/simulator.hpp"
+
+#include <algorithm>
+
+#include "acic/common/error.hpp"
+
+namespace acic::sim {
+
+EventId Simulator::at(SimTime t, std::function<void()> fn) {
+  ACIC_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
+                                                              << " now=" << now_);
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) { cancelled_.push_back(id); }
+
+void Simulator::spawn(Task task) {
+  ACIC_CHECK(task.valid());
+  // Start before storing: the process may spawn further processes
+  // re-entrantly, which would reallocate `processes_` under a reference.
+  task.start_detached();
+  processes_.push_back(std::move(task));
+  // Fork-join patterns spawn short-lived children by the hundred
+  // thousand; reap the finished ones so the table stays small.
+  if (++spawned_since_compact_ >= 4096) compact_processes();
+}
+
+void Simulator::compact_processes() {
+  spawned_since_compact_ = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].done()) {
+      processes_[i].rethrow_if_failed();  // surface errors before reaping
+      continue;
+    }
+    if (keep != i) processes_[keep] = std::move(processes_[i]);
+    ++keep;
+  }
+  processes_.resize(keep);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+  check_spawned_exceptions();
+}
+
+void Simulator::run_until_processes_done() {
+  while (!all_processes_done() && step()) {
+  }
+  check_spawned_exceptions();
+  ACIC_CHECK_MSG(all_processes_done(),
+                 "event queue drained with processes still suspended "
+                 "(deadlock)");
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+  check_spawned_exceptions();
+}
+
+bool Simulator::all_processes_done() const {
+  // Early-out on the first unfinished process; together with compaction
+  // this keeps the per-event check O(1) amortised.
+  for (const auto& p : processes_) {
+    if (!p.done()) return false;
+  }
+  return true;
+}
+
+void Simulator::check_spawned_exceptions() {
+  for (const auto& p : processes_) p.rethrow_if_failed();
+}
+
+}  // namespace acic::sim

@@ -1,0 +1,112 @@
+// Coroutine process type for the simulation kernel.
+//
+// `Task` is a lazily-started coroutine.  Awaiting a Task runs it to
+// completion and resumes the awaiter (symmetric transfer); spawning a Task
+// on the Simulator turns it into a detached simulated process whose frame
+// the simulator keeps alive.  Exceptions propagate to the awaiter, or — for
+// spawned root tasks — out of Simulator::run().
+//
+// TOOLCHAIN CONSTRAINT: every awaiter type used with these coroutines must
+// be TRIVIALLY DESTRUCTIBLE (hold references or raw pointers, never
+// shared_ptr/vector/etc.).  GCC 12.2 destroys the awaiter temporary of a
+// co_await expression twice in some resume orders (fixed in later GCCs);
+// with trivially destructible awaiters the double-destroy is harmless.
+// tests/simcore_test.cpp carries a regression test for this.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace acic::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    bool finished = false;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().finished = true;
+        if (h.promise().continuation) return h.promise().continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.promise().finished; }
+
+  /// Start the coroutine without an awaiting parent (used by spawn()).
+  void start_detached() {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+  /// Rethrow an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// co_await support: start the child, resume the parent at completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept {
+        return !child || child.promise().finished;
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer into the child
+      }
+      void await_resume() const {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace acic::sim

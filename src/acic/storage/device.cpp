@@ -1,0 +1,75 @@
+#include "acic/storage/device.hpp"
+
+#include <algorithm>
+
+#include "acic/common/error.hpp"
+
+namespace acic::storage {
+
+const DeviceSpec& device_spec(DeviceType type) {
+  static const DeviceSpec kEphemeral{
+      /*name=*/"ephemeral",
+      /*read_bandwidth=*/mb_per_s(95.0),
+      /*write_bandwidth=*/mb_per_s(90.0),
+      /*per_op_latency=*/8.0 * kMillisecond,
+      /*network_attached=*/false,
+  };
+  static const DeviceSpec kEbs{
+      /*name=*/"EBS",
+      /*read_bandwidth=*/mb_per_s(60.0),
+      /*write_bandwidth=*/mb_per_s(55.0),
+      /*per_op_latency=*/10.0 * kMillisecond,
+      /*network_attached=*/true,
+  };
+  static const DeviceSpec kSsd{
+      /*name=*/"SSD",
+      /*read_bandwidth=*/mb_per_s(250.0),
+      /*write_bandwidth=*/mb_per_s(220.0),
+      /*per_op_latency=*/0.1 * kMillisecond,
+      /*network_attached=*/false,
+  };
+  switch (type) {
+    case DeviceType::kEphemeral:
+      return kEphemeral;
+    case DeviceType::kEbs:
+      return kEbs;
+    case DeviceType::kSsd:
+      return kSsd;
+  }
+  throw acic::Error("unknown device type");
+}
+
+const char* to_string(DeviceType type) {
+  switch (type) {
+    case DeviceType::kEphemeral:
+      return "ephemeral";
+    case DeviceType::kEbs:
+      return "EBS";
+    case DeviceType::kSsd:
+      return "SSD";
+  }
+  return "?";
+}
+
+DeviceType device_type_from_string(const std::string& s) {
+  if (s == "ephemeral" || s == "eph") return DeviceType::kEphemeral;
+  if (s == "EBS" || s == "ebs") return DeviceType::kEbs;
+  if (s == "SSD" || s == "ssd") return DeviceType::kSsd;
+  throw acic::Error("unknown device type: " + s);
+}
+
+double raid0_bandwidth(const DeviceSpec& spec, int count, bool for_write) {
+  ACIC_CHECK(count >= 1);
+  const double base = for_write ? spec.write_bandwidth : spec.read_bandwidth;
+  // mdraid chunking overhead eats a few percent per extra member.
+  const double efficiency = 1.0 - 0.03 * static_cast<double>(count - 1);
+  return base * count * std::max(efficiency, 0.7);
+}
+
+SimTime raid0_latency(const DeviceSpec& spec, int count) {
+  ACIC_CHECK(count >= 1);
+  // Members are hit in parallel; splitting adds ~5 % per extra member.
+  return spec.per_op_latency * (1.0 + 0.05 * static_cast<double>(count - 1));
+}
+
+}  // namespace acic::storage

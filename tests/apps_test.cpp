@@ -1,0 +1,144 @@
+// Tests for the four application models (Table 3 characteristics and
+// paper-published I/O volumes) and the IOR builder.
+#include <gtest/gtest.h>
+
+#include "acic/apps/apps.hpp"
+#include "acic/common/error.hpp"
+#include "acic/io/runner.hpp"
+#include "acic/ior/ior.hpp"
+
+namespace acic {
+namespace {
+
+TEST(Apps, BtioMatchesPaperFacts) {
+  const auto w = apps::btio(64);
+  EXPECT_EQ(w.name, "BTIO");
+  EXPECT_EQ(w.interface, io::IoInterface::kMpiIo);
+  EXPECT_EQ(w.op, io::OpMix::kWrite);
+  EXPECT_TRUE(w.collective);
+  EXPECT_TRUE(w.file_shared);
+  EXPECT_EQ(w.iterations, 40);  // 200 steps, dump every 5
+  // ~6.4 GB total output, independent of scale.
+  EXPECT_NEAR(w.total_bytes(), 6.4 * GiB, 1.0 * MiB);
+  EXPECT_NEAR(apps::btio(256).total_bytes(), 6.4 * GiB, 1.0 * MiB);
+  EXPECT_GT(w.compute_per_iteration, 0.0);  // CPU-heavy
+}
+
+TEST(Apps, FlashioMatchesPaperFacts) {
+  const auto w = apps::flashio(256);
+  EXPECT_EQ(w.interface, io::IoInterface::kHdf5);
+  EXPECT_EQ(w.op, io::OpMix::kWrite);
+  EXPECT_EQ(w.iterations, 1);
+  EXPECT_NEAR(w.total_bytes(), 15.0 * GiB, 1.0 * MiB);
+  // I/O kernel: compute is negligible next to BTIO's.
+  EXPECT_LT(w.compute_per_iteration * w.iterations,
+            apps::btio(256).compute_per_iteration * 40);
+}
+
+TEST(Apps, MpiblastMatchesPaperFacts) {
+  const auto w = apps::mpiblast(32);
+  EXPECT_EQ(w.interface, io::IoInterface::kPosix);
+  EXPECT_EQ(w.op, io::OpMix::kRead);
+  EXPECT_FALSE(w.file_shared);   // per-segment files
+  EXPECT_FALSE(w.collective);
+  EXPECT_NEAR(w.total_bytes(), 84.0 * GiB, 1.0 * MiB);
+}
+
+TEST(Apps, Madbench2MatchesPaperFacts) {
+  const auto w = apps::madbench2(64);
+  EXPECT_EQ(w.op, io::OpMix::kReadWrite);
+  EXPECT_EQ(w.interface, io::IoInterface::kMpiIo);
+  // 32 GB matrix accessed four times -> 2 write + 2 read passes.
+  EXPECT_NEAR(w.total_bytes(), 64.0 * GiB, 1.0 * MiB);
+}
+
+TEST(Apps, EvaluationSuiteHasNineRuns) {
+  const auto suite = apps::evaluation_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite[0].app, "BTIO");
+  EXPECT_EQ(suite[0].scale, 64);
+  EXPECT_EQ(suite[4].app, "mpiBLAST");
+  for (const auto& run : suite) EXPECT_TRUE(run.workload.valid());
+}
+
+TEST(Apps, StrongScalingShrinksPerRankWork) {
+  EXPECT_GT(apps::btio(64).compute_per_iteration,
+            apps::btio(256).compute_per_iteration);
+  EXPECT_GT(apps::btio(64).data_size, apps::btio(256).data_size);
+}
+
+TEST(Apps, RunnableOnBaseline) {
+  // Every model must actually execute end-to-end (cheapest scales only).
+  for (const auto& run : {apps::AppRun{"BTIO", 64, apps::btio(64)},
+                          apps::AppRun{"FLASHIO", 64, apps::flashio(64)}}) {
+    io::RunOptions o;
+    o.jitter_sigma = 0.0;
+    const auto r = io::run_workload(run.workload,
+                                    cloud::IoConfig::baseline(), o);
+    EXPECT_GT(r.total_time, 1.0) << run.app;
+    EXPECT_LT(r.total_time, 3600.0) << run.app;
+  }
+}
+
+TEST(IorBench, BuilderMapsIorOptions) {
+  const auto w = ior::IorBench()
+                     .api("HDF5")
+                     .tasks(64)
+                     .io_tasks(16)
+                     .block_size(128.0 * MiB)
+                     .transfer_size(16.0 * MiB)
+                     .segments(10)
+                     .collective(true)
+                     .file_per_process(false)
+                     .read_and_write()
+                     .build();
+  EXPECT_EQ(w.interface, io::IoInterface::kHdf5);
+  EXPECT_EQ(w.num_processes, 64);
+  EXPECT_EQ(w.num_io_processes, 16);
+  EXPECT_DOUBLE_EQ(w.data_size, 128.0 * MiB);
+  EXPECT_DOUBLE_EQ(w.request_size, 16.0 * MiB);
+  EXPECT_EQ(w.iterations, 10);
+  EXPECT_TRUE(w.collective);
+  EXPECT_TRUE(w.file_shared);
+  EXPECT_EQ(w.op, io::OpMix::kReadWrite);
+}
+
+TEST(IorBench, RejectsUnknownApi) {
+  EXPECT_THROW(ior::IorBench().api("GPFS"), Error);
+}
+
+TEST(IorBench, BuildNormalizesTransferSize) {
+  const auto w = ior::IorBench()
+                     .block_size(1.0 * MiB)
+                     .transfer_size(8.0 * MiB)
+                     .build();
+  EXPECT_DOUBLE_EQ(w.request_size, 1.0 * MiB);
+}
+
+TEST(IorBench, RunIorStripsComputePhases) {
+  auto w = ior::IorBench().tasks(32).block_size(4.0 * MiB).build();
+  w.compute_per_iteration = 100.0;  // would dominate if not stripped
+  io::RunOptions o;
+  o.jitter_sigma = 0.0;
+  const auto r = ior::run_ior(w, cloud::IoConfig::baseline(), o);
+  EXPECT_LT(r.total_time, 50.0);
+}
+
+
+TEST(Apps, BtioProblemClassesScale) {
+  const auto a = apps::btio(64, apps::BtClass::kA);
+  const auto c = apps::btio(64, apps::BtClass::kC);
+  const auto d = apps::btio(64, apps::BtClass::kD);
+  // Output volume scales with the grid cell count.
+  EXPECT_LT(a.total_bytes(), 0.1 * c.total_bytes());
+  EXPECT_GT(d.total_bytes(), 10.0 * c.total_bytes());
+  // Default stays the paper's class C.
+  EXPECT_DOUBLE_EQ(apps::btio(64).total_bytes(), c.total_bytes());
+  // Solver work scales along.
+  EXPECT_LT(a.compute_per_iteration, c.compute_per_iteration);
+  EXPECT_GT(d.compute_per_iteration, c.compute_per_iteration);
+  for (const auto& w : {a, c, d}) EXPECT_TRUE(w.valid());
+}
+
+}  // namespace
+}  // namespace acic

@@ -1,0 +1,254 @@
+// Tests for the cloud substrate: instance catalogue, IoConfig rules,
+// cluster topology, pricing and failure injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "acic/cloud/cluster.hpp"
+#include "acic/cloud/failure.hpp"
+#include "acic/cloud/instance.hpp"
+#include "acic/cloud/ioconfig.hpp"
+#include "acic/common/error.hpp"
+
+namespace acic::cloud {
+namespace {
+
+TEST(InstanceCatalogue, SpecsMatchEc2) {
+  const auto& cc2 = instance_spec(InstanceType::kCc2_8xlarge);
+  EXPECT_EQ(cc2.name, "cc2.8xlarge");
+  EXPECT_EQ(cc2.cores, 16);
+  EXPECT_EQ(cc2.ephemeral_disks, 4);
+  EXPECT_DOUBLE_EQ(cc2.price_per_hour, 2.40);
+  const auto& cc1 = instance_spec(InstanceType::kCc1_4xlarge);
+  EXPECT_EQ(cc1.cores, 8);
+  EXPECT_DOUBLE_EQ(cc1.price_per_hour, 1.30);
+  EXPECT_LT(cc1.core_speed, cc2.core_speed);
+}
+
+TEST(InstanceCatalogue, StringRoundTrip) {
+  EXPECT_EQ(instance_type_from_string("cc1.4xlarge"),
+            InstanceType::kCc1_4xlarge);
+  EXPECT_EQ(instance_type_from_string("cc2.8xlarge"),
+            InstanceType::kCc2_8xlarge);
+  EXPECT_THROW(instance_type_from_string("m1.small"), Error);
+}
+
+TEST(IoConfigTest, BaselineIsPaperBaseline) {
+  const auto b = IoConfig::baseline();
+  EXPECT_EQ(b.fs, FileSystemType::kNfs);
+  EXPECT_EQ(b.device, storage::DeviceType::kEbs);
+  EXPECT_EQ(b.placement, Placement::kDedicated);
+  EXPECT_EQ(b.io_servers, 1);
+  EXPECT_EQ(b.effective_raid_members(), 2);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.label(), "nfs.D.ebs");
+}
+
+TEST(IoConfigTest, ValidityRules) {
+  IoConfig c = IoConfig::baseline();
+  c.io_servers = 2;  // NFS cannot have two servers
+  EXPECT_FALSE(c.valid());
+  c.fs = FileSystemType::kPvfs2;
+  c.stripe_size = 0.0;  // PVFS2 needs a stripe size
+  EXPECT_FALSE(c.valid());
+  c.stripe_size = 64.0 * KiB;
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(IoConfigTest, EnumerationCountsAndUniqueLabels) {
+  const auto all = IoConfig::enumerate_candidates();
+  // 2 devices x 2 instances x 2 placements x (1 NFS + 3x2 PVFS2) = 56.
+  EXPECT_EQ(all.size(), 56u);
+  std::set<std::string> labels;
+  for (const auto& c : all) {
+    EXPECT_TRUE(c.valid());
+    labels.insert(c.label());
+  }
+  EXPECT_EQ(labels.size(), all.size());
+}
+
+TEST(IoConfigTest, EphemeralRaidUsesAllLocalDisks) {
+  IoConfig c = IoConfig::baseline();
+  c.device = storage::DeviceType::kEphemeral;
+  c.raid_members = 0;
+  c.instance = InstanceType::kCc2_8xlarge;
+  EXPECT_EQ(c.effective_raid_members(), 4);
+  c.instance = InstanceType::kCc1_4xlarge;
+  EXPECT_EQ(c.effective_raid_members(), 2);
+}
+
+ClusterModel::Options opts(int np, IoConfig cfg) {
+  ClusterModel::Options o;
+  o.num_processes = np;
+  o.config = cfg;
+  o.jitter_sigma = 0.0;  // exact capacities for the topology tests
+  return o;
+}
+
+TEST(ClusterModelTest, DedicatedServersAddInstances) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 4;
+  cfg.placement = Placement::kDedicated;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(64, cfg));
+  EXPECT_EQ(cluster.num_compute_instances(), 4);  // 64 ranks / 16 cores
+  EXPECT_EQ(cluster.num_instances(), 8);
+  for (int srv = 0; srv < 4; ++srv) {
+    EXPECT_GE(cluster.instance_of_server(srv), 4);
+  }
+}
+
+TEST(ClusterModelTest, PartTimeServersShareComputeInstances) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 4;
+  cfg.placement = Placement::kPartTime;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(64, cfg));
+  EXPECT_EQ(cluster.num_instances(), 4);  // no extra bill
+  for (int srv = 0; srv < 4; ++srv) {
+    EXPECT_LT(cluster.instance_of_server(srv), 4);
+  }
+  // Rank 0 lives on instance 0, which hosts server 0.
+  EXPECT_TRUE(cluster.rank_colocated_with_server(0, 0));
+}
+
+TEST(ClusterModelTest, LocalWritePathSkipsNics) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 1;
+  cfg.placement = Placement::kPartTime;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(32, cfg));
+  // Rank 0 is co-located with server 0: pure device path.
+  const auto local = cluster.write_path(0, 0);
+  EXPECT_EQ(local.size(), 1u);
+  // Rank 16 is on instance 1: two NIC hops plus the device.
+  const auto remote = cluster.write_path(16, 0);
+  EXPECT_EQ(remote.size(), 3u);
+}
+
+TEST(ClusterModelTest, EbsPathsTransitServerNic) {
+  sim::Simulator s;
+  IoConfig cfg = IoConfig::baseline();  // dedicated NFS over EBS
+  ClusterModel cluster(s, opts(32, cfg));
+  // Remote write: client tx, server rx, server tx (to EBS), volume.
+  const auto w = cluster.write_path(0, 0);
+  EXPECT_EQ(w.size(), 4u);
+  const auto r = cluster.read_path(0, 0);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(ClusterModelTest, CommPathEmptyWithinInstance) {
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(32, IoConfig::baseline()));
+  EXPECT_TRUE(cluster.comm_path(0, 1).empty());
+  EXPECT_EQ(cluster.comm_path(0, 16).size(), 2u);
+}
+
+TEST(ClusterModelTest, CostFollowsEquationOne) {
+  sim::Simulator s;
+  IoConfig cfg = IoConfig::baseline();
+  ClusterModel cluster(s, opts(32, cfg));
+  // 2 compute + 1 dedicated I/O instance, cc2 at $2.40/h.
+  EXPECT_EQ(cluster.num_instances(), 3);
+  EXPECT_NEAR(cluster.cost_of(kHour), 3 * 2.40, 1e-9);
+  EXPECT_NEAR(cluster.cost_of(90.0), 3 * 2.40 * 90.0 / 3600.0, 1e-9);
+}
+
+TEST(ClusterModelTest, PartTimeComputeTaxApplies) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 1;
+  cfg.placement = Placement::kPartTime;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(32, cfg));
+  // Rank 0 shares its instance with the server; rank 16 does not.
+  EXPECT_GT(cluster.compute_time(10.0, 0), cluster.compute_time(10.0, 16));
+}
+
+TEST(ClusterModelTest, Cc1IsSlowerPerCore) {
+  sim::Simulator s1, s2;
+  IoConfig cfg1 = IoConfig::baseline();
+  cfg1.instance = InstanceType::kCc1_4xlarge;
+  ClusterModel c1(s1, opts(32, cfg1));
+  ClusterModel c2(s2, opts(32, IoConfig::baseline()));
+  EXPECT_GT(c1.compute_time(10.0, 0), c2.compute_time(10.0, 0));
+}
+
+TEST(ClusterModelTest, JitterPerturbsCapacityDeterministically) {
+  sim::Simulator s1, s2, s3;
+  auto o = opts(32, IoConfig::baseline());
+  o.jitter_sigma = 0.1;
+  o.seed = 7;
+  ClusterModel a(s1, o), b(s2, o);
+  o.seed = 8;
+  ClusterModel c(s3, o);
+  EXPECT_DOUBLE_EQ(a.network().capacity(a.nic_tx(0)),
+                   b.network().capacity(b.nic_tx(0)));
+  EXPECT_NE(a.network().capacity(a.nic_tx(0)),
+            c.network().capacity(c.nic_tx(0)));
+}
+
+TEST(ClusterModelTest, RejectsInvalidConfig) {
+  sim::Simulator s;
+  IoConfig bad = IoConfig::baseline();
+  bad.io_servers = 3;  // NFS with 3 servers
+  EXPECT_THROW(ClusterModel(s, opts(32, bad)), Error);
+}
+
+TEST(FailureInjectorTest, OutageStallsTransferThenRecovers) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 1;
+  cfg.placement = Placement::kDedicated;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(16, cfg));
+  FailureInjector inj(cluster);
+
+  SimTime done_no_fail = 0.0;
+  {
+    sim::Simulator s2;
+    ClusterModel c2(s2, opts(16, cfg));
+    SimTime done = -1;
+    c2.network().start_flow(c2.write_path(0, 0), 100.0 * MiB,
+                            [&] { done = s2.now(); });
+    s2.run();
+    done_no_fail = done;
+    EXPECT_GT(done_no_fail, 0.0);
+  }
+
+  SimTime done = -1;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { done = s.now(); });
+  inj.inject(FailureInjector::Target::kServerDevice, 0, 0.05, 10.0);
+  s.run();
+  EXPECT_NEAR(done, done_no_fail + 10.0, 0.1);
+  EXPECT_EQ(inj.scheduled_outages(), 1);
+}
+
+TEST(FailureInjectorTest, RandomOutagesAreSeeded) {
+  sim::Simulator s;
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = 4;
+  cfg.placement = Placement::kDedicated;
+  cfg.device = storage::DeviceType::kEphemeral;
+  ClusterModel cluster(s, opts(32, cfg));
+  FailureInjector inj(cluster);
+  Rng rng(99);
+  inj.inject_random(rng, /*outages_per_hour=*/60.0, /*horizon=*/kHour);
+  EXPECT_GT(inj.scheduled_outages(), 20);
+  EXPECT_LT(inj.scheduled_outages(), 180);
+  s.run();  // all suppress/restore pairs must balance without throwing
+}
+
+}  // namespace
+}  // namespace acic::cloud

@@ -1,0 +1,235 @@
+// Unit tests for acic/common: units, rng, stats, table, csv.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "acic/common/csv.hpp"
+#include "acic/common/error.hpp"
+#include "acic/common/rng.hpp"
+#include "acic/common/stats.hpp"
+#include "acic/common/table.hpp"
+#include "acic/common/units.hpp"
+
+namespace acic {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(6.4 * GiB), "6.40 GiB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(0.5e-3), "500.0 us");
+  EXPECT_EQ(format_time(0.25), "250.0 ms");
+  EXPECT_EQ(format_time(42.0), "42.00 s");
+  EXPECT_EQ(format_time(125.0), "2m 5.0s");
+  EXPECT_EQ(format_time(2.0 * kHour + 5.0 * kMinute), "2h 5m");
+}
+
+TEST(Units, FormatMoney) {
+  EXPECT_EQ(format_money(1.234), "$1.23");
+  EXPECT_EQ(format_money(12345.0), "$12.3K");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mb_per_s(100.0), 100.0 * MiB);
+  EXPECT_DOUBLE_EQ(per_hour(3.6), 0.001);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(10.0, 20.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 20.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalJitterMedianNearOne) {
+  Rng r(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(r.lognormal_jitter(0.2));
+  EXPECT_NEAR(median_of(xs), 1.0, 0.02);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(5);
+  auto p = r.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  Rng r(21);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-5, 5);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2}, 0.5), 1.5);
+}
+
+TEST(StatsTest, SummaryFields) {
+  auto s = summarize({4, 1, 3, 2, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(StatsTest, GeomeanAndMedian) {
+  EXPECT_DOUBLE_EQ(geomean_of({1.0, 100.0}), 10.0);
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 9.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_THROW(geomean_of({1.0, 0.0}), Error);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.50"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.50  |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y", "label"};
+  t.rows = {{"1", "2.5", "foo"}, {"3", "4.5", "bar"}};
+  const auto parsed = from_csv(to_csv(t));
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(CsvTest, RejectsSeparatorInCell) {
+  CsvTable t;
+  t.header = {"a"};
+  t.rows = {{"has,comma"}};
+  EXPECT_THROW(to_csv(t), Error);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "acic_csv_test.csv").string();
+  CsvTable t;
+  t.header = {"k", "v"};
+  t.rows = {{"alpha", "1"}, {"beta", "2"}};
+  write_csv_file(path, t);
+  const auto parsed = read_csv_file(path);
+  EXPECT_EQ(parsed.rows, t.rows);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, ParseRejectsRaggedRows) {
+  EXPECT_THROW(from_csv("a,b\n1\n"), Error);
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    ACIC_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace acic

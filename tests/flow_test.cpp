@@ -1,0 +1,209 @@
+// Unit and property tests for the max-min fair-share flow network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "acic/common/error.hpp"
+#include "acic/common/rng.hpp"
+#include "acic/simcore/flow.hpp"
+#include "acic/simcore/simulator.hpp"
+
+namespace acic::sim {
+namespace {
+
+TEST(FlowNetwork, SingleFlowUsesFullCapacity) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);  // 100 B/s
+  SimTime done_at = -1.0;
+  net.start_flow({link}, 1000.0, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_NEAR(net.bytes_delivered(), 1000.0, 1e-6);
+}
+
+TEST(FlowNetwork, TwoFlowsShareEqually) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime a_done = -1, b_done = -1;
+  net.start_flow({link}, 1000.0, [&] { a_done = s.now(); });
+  net.start_flow({link}, 1000.0, [&] { b_done = s.now(); });
+  s.run();
+  // Both run at 50 B/s -> 20 s each.
+  EXPECT_NEAR(a_done, 20.0, 1e-9);
+  EXPECT_NEAR(b_done, 20.0, 1e-9);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongSpeedsUp) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime small_done = -1, big_done = -1;
+  net.start_flow({link}, 500.0, [&] { small_done = s.now(); });
+  net.start_flow({link}, 1500.0, [&] { big_done = s.now(); });
+  s.run();
+  // Phase 1: both at 50 B/s until small ends at t=10 (500 B each).
+  // Phase 2: big alone at 100 B/s for remaining 1000 B -> ends t=20.
+  EXPECT_NEAR(small_done, 10.0, 1e-9);
+  EXPECT_NEAR(big_done, 20.0, 1e-9);
+}
+
+TEST(FlowNetwork, LateArrivalSlowsExistingFlow) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime first_done = -1;
+  net.start_flow({link}, 1000.0, [&] { first_done = s.now(); });
+  s.at(5.0, [&] { net.start_flow({link}, 10000.0, nullptr); });
+  s.run();
+  // 500 B in first 5 s, then 50 B/s -> 10 more seconds.
+  EXPECT_NEAR(first_done, 15.0, 1e-9);
+}
+
+TEST(FlowNetwork, BottleneckOnSharedMiddleResource) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto a = net.add_resource("nic-a", 1000.0);
+  const auto b = net.add_resource("nic-b", 1000.0);
+  const auto shared = net.add_resource("server", 100.0);
+  SimTime done_a = -1, done_b = -1;
+  net.start_flow({a, shared}, 500.0, [&] { done_a = s.now(); });
+  net.start_flow({b, shared}, 500.0, [&] { done_b = s.now(); });
+  s.run();
+  // Server capacity 100 split two ways -> 50 B/s each -> 10 s.
+  EXPECT_NEAR(done_a, 10.0, 1e-9);
+  EXPECT_NEAR(done_b, 10.0, 1e-9);
+}
+
+TEST(FlowNetwork, MaxMinGivesUnbottleneckedFlowTheRest) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto wide = net.add_resource("wide", 100.0);
+  const auto narrow = net.add_resource("narrow", 10.0);
+  // Flow A crosses only the wide link; flow B crosses both.
+  net.start_flow({wide}, 1e9, nullptr);
+  net.start_flow({wide, narrow}, 1e9, nullptr);
+  s.at(0.0, [&] {});
+  s.step();
+  // B is capped at 10 by the narrow link; A gets the remaining 90.
+  // (Rates are observable immediately after the initial solve.)
+  EXPECT_EQ(net.active_flows(), 2u);
+  double ra = net.flow_rate(1), rb = net.flow_rate(2);
+  EXPECT_NEAR(rb, 10.0, 1e-9);
+  EXPECT_NEAR(ra, 90.0, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesImmediately) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  bool done = false;
+  net.start_flow({link}, 0.0, [&] { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(FlowNetwork, CapacityDropStallsAndRecovers) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime done = -1;
+  net.start_flow({link}, 1000.0, [&] { done = s.now(); });
+  s.at(5.0, [&] { net.set_capacity(link, 0.0); });   // failure
+  s.at(25.0, [&] { net.set_capacity(link, 100.0); });  // recovery
+  s.run();
+  // 500 B before failure, 20 s stall, 5 s to finish the rest.
+  EXPECT_NEAR(done, 30.0, 1e-9);
+}
+
+TEST(FlowNetwork, RejectsEmptyPathAndBadResource) {
+  Simulator s;
+  FlowNetwork net(s);
+  EXPECT_THROW(net.start_flow({}, 10.0, nullptr), Error);
+  EXPECT_THROW(net.start_flow({99}, 10.0, nullptr), Error);
+}
+
+Task transfer_and_mark(FlowNetwork& net, std::vector<ResourceId> path,
+                       Bytes bytes, Simulator& s, SimTime& done_at) {
+  co_await net.transfer(std::move(path), bytes);
+  done_at = s.now();
+}
+
+TEST(FlowNetwork, CoroutineTransferAwaitsCompletion) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime done_at = -1;
+  s.spawn(transfer_and_mark(net, {link}, 250.0, s, done_at));
+  s.run();
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+}
+
+// Property: total goodput through a single resource never exceeds its
+// capacity, and all bytes are delivered, for random flow sets.
+class FlowConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowConservationTest, AllBytesDeliveredAndMakespanBounded) {
+  Rng rng(GetParam());
+  Simulator s;
+  FlowNetwork net(s);
+  const double cap = 100.0;
+  const auto link = net.add_resource("link", cap);
+  std::vector<ResourceId> nics;
+  for (int i = 0; i < 4; ++i) {
+    nics.push_back(net.add_resource("nic" + std::to_string(i), 60.0));
+  }
+  double total_bytes = 0.0;
+  int completed = 0;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    const double bytes = rng.uniform(10.0, 500.0);
+    total_bytes += bytes;
+    const auto nic = nics[rng.uniform_index(nics.size())];
+    const double start = rng.uniform(0.0, 5.0);
+    s.at(start, [&net, nic, link, bytes, &completed] {
+      net.start_flow({nic, link}, bytes, [&completed] { ++completed; });
+    });
+  }
+  s.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(net.bytes_delivered(), total_bytes, 1e-5);
+  // The shared link is the binding constraint: makespan >= bytes/cap.
+  EXPECT_GE(s.now() + 1e-9, total_bytes / cap);
+  // And it cannot be worse than fully serialized through the slowest NIC.
+  EXPECT_LE(s.now(), 5.0 + total_bytes / 60.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FlowConservationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: with k parallel servers, aggregate completion time of evenly
+// spread flows improves ~k× over a single server.
+class StripingSpeedupTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripingSpeedupTest, ParallelServersScaleThroughput) {
+  const int k = GetParam();
+  Simulator s;
+  FlowNetwork net(s);
+  std::vector<ResourceId> servers;
+  for (int i = 0; i < k; ++i) {
+    servers.push_back(net.add_resource("srv" + std::to_string(i), 100.0));
+  }
+  const double total = 12000.0;
+  for (int i = 0; i < k; ++i) {
+    net.start_flow({servers[static_cast<std::size_t>(i)]}, total / k, nullptr);
+  }
+  s.run();
+  EXPECT_NEAR(s.now(), total / (100.0 * k), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, StripingSpeedupTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace acic::sim

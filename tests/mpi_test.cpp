@@ -1,0 +1,105 @@
+// Tests for the simulated MPI runtime.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "acic/mpi/runtime.hpp"
+
+namespace acic::mpi {
+namespace {
+
+cloud::ClusterModel::Options opts(int np) {
+  cloud::ClusterModel::Options o;
+  o.num_processes = np;
+  o.config = cloud::IoConfig::baseline();
+  o.jitter_sigma = 0.0;
+  return o;
+}
+
+TEST(MpiRuntime, AggregatorsOnePerInstance) {
+  sim::Simulator s;
+  cloud::ClusterModel cluster(s, opts(64));  // 4 instances of 16 cores
+  Runtime mpi(cluster);
+  EXPECT_EQ(mpi.aggregators(), (std::vector<int>{0, 16, 32, 48}));
+  EXPECT_EQ(mpi.aggregator_of(5), 0);
+  EXPECT_EQ(mpi.aggregator_of(17), 16);
+  EXPECT_EQ(mpi.aggregator_of(63), 48);
+  EXPECT_TRUE(mpi.is_aggregator(32));
+  EXPECT_FALSE(mpi.is_aggregator(33));
+}
+
+sim::Task rank_barrier(Runtime& mpi, sim::Simulator& s, SimTime arrive,
+                       std::vector<SimTime>& done) {
+  co_await s.delay(arrive);
+  co_await mpi.barrier();
+  done.push_back(s.now());
+}
+
+TEST(MpiRuntime, BarrierSynchronisesAllRanks) {
+  sim::Simulator s;
+  cloud::ClusterModel cluster(s, opts(16));
+  Runtime mpi(cluster);
+  std::vector<SimTime> done;
+  for (int r = 0; r < 16; ++r) {
+    s.spawn(rank_barrier(mpi, s, 0.1 * r, done));
+  }
+  s.run();
+  ASSERT_EQ(done.size(), 16u);
+  for (SimTime t : done) EXPECT_NEAR(t, done.front(), 1e-9);
+  EXPECT_GT(done.front(), 1.5);  // the slowest arriver gates everyone
+}
+
+sim::Task one_send(Runtime& mpi, int from, int to, Bytes bytes,
+                   sim::Simulator& s, SimTime& done) {
+  co_await mpi.send(from, to, bytes);
+  done = s.now();
+}
+
+TEST(MpiRuntime, IntraInstanceSendIsSharedMemoryFast) {
+  sim::Simulator s;
+  cloud::ClusterModel cluster(s, opts(32));
+  Runtime mpi(cluster);
+  SimTime local = -1, remote = -1;
+  s.spawn(one_send(mpi, 0, 1, 64.0 * MiB, s, local));    // same instance
+  s.spawn(one_send(mpi, 2, 17, 64.0 * MiB, s, remote));  // crosses NIC
+  s.run();
+  EXPECT_GT(local, 0.0);
+  EXPECT_GT(remote, 2.0 * local);
+}
+
+sim::Task one_allreduce(Runtime& mpi, int rank, Bytes bytes,
+                        sim::Simulator& s, SimTime& done) {
+  co_await mpi.allreduce(rank, bytes);
+  done = s.now();
+}
+
+TEST(MpiRuntime, AllreduceCompletesForAllRanks) {
+  sim::Simulator s;
+  cloud::ClusterModel cluster(s, opts(32));
+  Runtime mpi(cluster);
+  std::vector<SimTime> done(32, -1.0);
+  for (int r = 0; r < 32; ++r) {
+    s.spawn(one_allreduce(mpi, r, 1.0 * MiB, s, done[static_cast<size_t>(r)]));
+  }
+  s.run();
+  for (SimTime t : done) EXPECT_GT(t, 0.0);
+}
+
+sim::Task one_exchange(Runtime& mpi, int rank, Bytes bytes, int& finished) {
+  co_await mpi.exchange_ring(rank, bytes);
+  ++finished;
+}
+
+TEST(MpiRuntime, RingExchangeCompletes) {
+  sim::Simulator s;
+  cloud::ClusterModel cluster(s, opts(32));
+  Runtime mpi(cluster);
+  int finished = 0;
+  for (int r = 0; r < 32; ++r) s.spawn(one_exchange(mpi, r, 4.0 * MiB, finished));
+  s.run();
+  EXPECT_EQ(finished, 32);
+  EXPECT_TRUE(s.all_processes_done());
+}
+
+}  // namespace
+}  // namespace acic::mpi

@@ -1,0 +1,56 @@
+// Tests for the host-thread parallel_for helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "acic/common/error.hpp"
+#include "acic/common/parallel.hpp"
+
+namespace acic {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, WorksWithExplicitThreadCounts) {
+  for (unsigned threads : {1u, 2u, 7u}) {
+    std::atomic<long> sum{0};
+    parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); },
+                 threads);
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          50,
+          [](std::size_t i) {
+            if (i == 17) throw Error("boom");
+          },
+          4),
+      Error);
+}
+
+TEST(ParallelFor, SerialFallbackPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace acic

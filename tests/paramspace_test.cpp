@@ -1,0 +1,103 @@
+// Tests for the 15-D exploration space: Table 1 fidelity, encode/decode
+// round-trips, validity rules and repair.
+#include <gtest/gtest.h>
+
+#include "acic/apps/apps.hpp"
+#include "acic/core/paramspace.hpp"
+#include "acic/core/training.hpp"
+
+namespace acic::core {
+namespace {
+
+TEST(ParamSpaceTest, HasFifteenTable1Dimensions) {
+  const auto& dims = ParamSpace::dimensions();
+  ASSERT_EQ(dims.size(), static_cast<std::size_t>(kNumDims));
+  int system = 0;
+  for (const auto& d : dims) system += d.is_system;
+  EXPECT_EQ(system, 6);  // six cloud configuration dimensions
+  EXPECT_EQ(dims[kDataSize].values.size(), 6u);
+  EXPECT_EQ(dims[kIoServers].values, (std::vector<double>{1, 2, 4}));
+}
+
+TEST(ParamSpaceTest, RawCombinationsMatchPaperFootnote) {
+  // Footnote 1: 2*2*2*3*2*2*4*4*2*3*6*4*2*2*2 = 1,769,472 with the
+  // paper's {read, write}; we additionally sample the read+write mix
+  // (IOR -w -r), scaling the product by 3/2.
+  EXPECT_DOUBLE_EQ(ParamSpace::raw_combinations(), 1769472.0 * 1.5);
+}
+
+TEST(ParamSpaceTest, EncodeDecodeRoundTripsForCandidates) {
+  const auto w = apps::btio(64);
+  for (const auto& cfg : cloud::IoConfig::enumerate_candidates()) {
+    const Point p = ParamSpace::encode(cfg, w);
+    const auto decoded = ParamSpace::config_of(p);
+    EXPECT_EQ(decoded.label(), cfg.label());
+    const auto wl = ParamSpace::workload_of(p);
+    EXPECT_EQ(wl.num_processes, w.num_processes);
+    EXPECT_EQ(wl.collective, w.collective);
+    EXPECT_DOUBLE_EQ(wl.data_size, w.data_size);
+  }
+}
+
+TEST(ParamSpaceTest, OpMixEncoding) {
+  auto w = apps::madbench2(64);  // read+write
+  const Point p = ParamSpace::encode(cloud::IoConfig::baseline(), w);
+  EXPECT_DOUBLE_EQ(p[kOpType], 0.5);
+  EXPECT_EQ(ParamSpace::workload_of(p).op, io::OpMix::kReadWrite);
+}
+
+TEST(ParamSpaceTest, ValidityRules) {
+  Point p = default_point();
+  EXPECT_TRUE(ParamSpace::valid(p));
+  Point bad = p;
+  bad[kIoServers] = 4;  // NFS with 4 servers
+  EXPECT_FALSE(ParamSpace::valid(bad));
+  bad = p;
+  bad[kRequestSize] = bad[kDataSize] * 2;
+  EXPECT_FALSE(ParamSpace::valid(bad));
+  bad = p;
+  bad[kNumIoProcs] = 256;
+  bad[kNumProcs] = 64;
+  EXPECT_FALSE(ParamSpace::valid(bad));
+  bad = p;
+  bad[kInterface] = 0;  // POSIX
+  bad[kCollective] = 1;
+  EXPECT_FALSE(ParamSpace::valid(bad));
+}
+
+TEST(ParamSpaceTest, RepairProducesValidPoints) {
+  Point p = default_point();
+  p[kFileSystem] = 0;
+  p[kIoServers] = 4;          // invalid for NFS
+  p[kStripeSize] = 4.0 * MiB; // invalid for NFS
+  p[kRequestSize] = 128.0 * MiB;
+  p[kDataSize] = 1.0 * MiB;
+  const Point fixed = ParamSpace::repaired(p);
+  EXPECT_TRUE(ParamSpace::valid(fixed));
+  EXPECT_DOUBLE_EQ(fixed[kIoServers], 1);
+  EXPECT_DOUBLE_EQ(fixed[kStripeSize], 0);
+  EXPECT_LE(fixed[kRequestSize], fixed[kDataSize]);
+}
+
+TEST(ParamSpaceTest, RepairSnapsToGrid) {
+  Point p = default_point();
+  p[kDataSize] = 20.0 * MiB;  // between the 16 MiB and 32 MiB samples
+  const Point fixed = ParamSpace::repaired(p);
+  EXPECT_DOUBLE_EQ(fixed[kDataSize], 16.0 * MiB);
+}
+
+TEST(ParamSpaceTest, DescribeIsHumanReadable) {
+  const auto text = ParamSpace::describe(default_point());
+  EXPECT_NE(text.find("nfs"), std::string::npos);
+  EXPECT_NE(text.find("np=64"), std::string::npos);
+}
+
+TEST(ParamSpaceTest, LowHighEndsOfRanges) {
+  EXPECT_DOUBLE_EQ(ParamSpace::low(kDataSize), 1.0 * MiB);
+  EXPECT_DOUBLE_EQ(ParamSpace::high(kDataSize), 512.0 * MiB);
+  EXPECT_DOUBLE_EQ(ParamSpace::low(kIoServers), 1);
+  EXPECT_DOUBLE_EQ(ParamSpace::high(kIoServers), 4);
+}
+
+}  // namespace
+}  // namespace acic::core

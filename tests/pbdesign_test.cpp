@@ -1,0 +1,99 @@
+// Tests for Plackett–Burman designs, including the paper's Table 2
+// worked example (N = 5, N' = 8).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+
+#include "acic/common/error.hpp"
+#include "acic/core/pbdesign.hpp"
+
+namespace acic::core {
+namespace {
+
+TEST(PbDesign, RunsForMatchesPaper) {
+  EXPECT_EQ(PbDesign::runs_for(5), 8);    // Table 2
+  EXPECT_EQ(PbDesign::runs_for(15), 16);  // the ACIC space
+  EXPECT_EQ(PbDesign::runs_for(7), 8);
+  EXPECT_EQ(PbDesign::runs_for(11), 12);
+  EXPECT_EQ(PbDesign::runs_for(16), 20);
+}
+
+TEST(PbDesign, MatrixShapeAndLastRow) {
+  for (int runs : {8, 12, 16, 20, 24}) {
+    const auto m = PbDesign::matrix(runs);
+    ASSERT_EQ(static_cast<int>(m.size()), runs);
+    for (const auto& row : m) {
+      ASSERT_EQ(static_cast<int>(row.size()), runs - 1);
+      for (int v : row) EXPECT_TRUE(v == 1 || v == -1);
+    }
+    // Final row is all low.
+    for (int v : m.back()) EXPECT_EQ(v, -1);
+  }
+  EXPECT_THROW(PbDesign::matrix(10), Error);
+}
+
+TEST(PbDesign, ColumnsAreBalancedAndOrthogonal) {
+  // Each column has runs/2 highs; distinct columns are orthogonal —
+  // the defining property of a PB design.
+  for (int runs : {8, 12, 16, 20}) {
+    const auto m = PbDesign::matrix(runs);
+    const int cols = runs - 1;
+    for (int c = 0; c < cols; ++c) {
+      int sum = 0;
+      for (int r = 0; r < runs; ++r) sum += m[size_t(r)][size_t(c)];
+      EXPECT_EQ(std::abs(sum), runs - 2 * (runs / 2)) << "col " << c;
+    }
+    for (int a = 0; a < cols; ++a) {
+      for (int b = a + 1; b < cols; ++b) {
+        int dot = 0;
+        for (int r = 0; r < runs; ++r) {
+          dot += m[size_t(r)][size_t(a)] * m[size_t(r)][size_t(b)];
+        }
+        EXPECT_EQ(dot, 0) << "cols " << a << "," << b << " runs " << runs;
+      }
+    }
+  }
+}
+
+TEST(PbDesign, FoldoverDoublesRunsWithNegation) {
+  const auto f = PbDesign::foldover(16);
+  ASSERT_EQ(f.size(), 32u);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 15; ++c) {
+      EXPECT_EQ(f[r][c], -f[r + 16][c]);
+    }
+  }
+}
+
+TEST(PbDesign, EffectsMatchHandComputation) {
+  // Tiny check: with response equal to one column, that column's effect
+  // is N' and every other effect is 0 (orthogonality).
+  const auto m = PbDesign::matrix(8);
+  std::vector<double> response(8);
+  for (std::size_t r = 0; r < 8; ++r) response[r] = m[r][2];
+  const auto eff = PbDesign::effects(m, response, 7);
+  EXPECT_DOUBLE_EQ(eff[2], 8.0);
+  for (int j = 0; j < 7; ++j) {
+    if (j != 2) EXPECT_DOUBLE_EQ(eff[size_t(j)], 0.0) << j;
+  }
+}
+
+TEST(PbDesign, Table2StyleRankingIsByAbsoluteEffect) {
+  // Effects with mixed signs: ranking must use |effect| (the paper notes
+  // the sign is meaningless for ranking).
+  const std::vector<double> eff = {40, -4, 48, -152, 28};
+  const auto order = PbDesign::ranking(eff);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 0, 4, 1}));
+  const auto rank = PbDesign::rank_of_each(eff);
+  EXPECT_EQ(rank, (std::vector<int>{3, 5, 2, 1, 4}));  // Table 2 row
+}
+
+TEST(PbDesign, EffectsValidatesShapes) {
+  const auto m = PbDesign::matrix(8);
+  EXPECT_THROW(PbDesign::effects(m, std::vector<double>(7), 5), Error);
+  EXPECT_THROW(PbDesign::effects(m, std::vector<double>(8), 8), Error);
+}
+
+}  // namespace
+}  // namespace acic::core

@@ -1,0 +1,145 @@
+// Tests for the query service: protocol parsing, responses, error
+// handling, and database refresh.
+#include <gtest/gtest.h>
+
+#include "acic/common/error.hpp"
+#include "acic/service/query_service.hpp"
+
+namespace acic::service {
+namespace {
+
+/// A tiny synthetic database: PVFS2-4-ephemeral points improve over
+/// baseline, everything else does not.  Enough structure for CART to
+/// learn a preference without running a single simulation.
+core::TrainingDatabase synthetic_db() {
+  core::TrainingDatabase db;
+  const auto defaults = core::default_point();
+  int tick = 0;
+  for (const auto& cfg : cloud::IoConfig::enumerate_candidates()) {
+    for (double data : {4.0 * MiB, 128.0 * MiB}) {
+      core::Point p = defaults;
+      p = core::ParamSpace::encode(
+          cfg, core::ParamSpace::workload_of(defaults));
+      p[core::kDataSize] = data;
+      p = core::ParamSpace::repaired(p);
+      core::TrainingSample s;
+      s.point = p;
+      const bool good = cfg.fs == cloud::FileSystemType::kPvfs2 &&
+                        cfg.io_servers == 4 &&
+                        cfg.device == storage::DeviceType::kEphemeral;
+      s.baseline_time = 100.0;
+      s.time = good ? 25.0 + (tick % 3) : 110.0 + (tick % 7);
+      s.baseline_cost = 10.0;
+      s.cost = good ? 4.0 : 11.0;
+      db.insert(s);
+      ++tick;
+    }
+  }
+  return db;
+}
+
+core::PbRankingResult synthetic_ranking() {
+  core::PbRankingResult r;
+  for (int d = 0; d < core::kNumDims; ++d) {
+    r.importance.push_back(d);
+    r.rank_of_each.push_back(d + 1);
+    r.effects.push_back(core::kNumDims - d);
+  }
+  return r;
+}
+
+QueryService make_service() {
+  return QueryService(synthetic_db(), synthetic_ranking());
+}
+
+TEST(ParseSize, AcceptsCommonUnits) {
+  EXPECT_DOUBLE_EQ(parse_size("2048"), 2048.0);
+  EXPECT_DOUBLE_EQ(parse_size("4MiB"), 4.0 * MiB);
+  EXPECT_DOUBLE_EQ(parse_size("256KiB"), 256.0 * KiB);
+  EXPECT_DOUBLE_EQ(parse_size("1.5GiB"), 1.5 * GiB);
+  EXPECT_DOUBLE_EQ(parse_size("2gb"), 2.0 * GiB);
+  EXPECT_THROW(parse_size("10parsecs"), Error);
+  EXPECT_THROW(parse_size(""), Error);
+}
+
+TEST(ParseWorkload, FillsFieldsAndValidates) {
+  const auto w = parse_workload_query(
+      "recommend np=128 io_procs=64 interface=POSIX iterations=5 "
+      "data=64MiB request=1MiB op=read shared=no");
+  EXPECT_EQ(w.num_processes, 128);
+  EXPECT_EQ(w.num_io_processes, 64);
+  EXPECT_EQ(w.interface, io::IoInterface::kPosix);
+  EXPECT_EQ(w.iterations, 5);
+  EXPECT_DOUBLE_EQ(w.data_size, 64.0 * MiB);
+  EXPECT_EQ(w.op, io::OpMix::kRead);
+  EXPECT_FALSE(w.file_shared);
+}
+
+TEST(ParseWorkload, RejectsUnknownKeys) {
+  EXPECT_THROW(parse_workload_query("recommend warp_factor=9"), Error);
+}
+
+TEST(QueryServiceTest, RecommendPrefersThePlantedOptimum) {
+  auto svc = make_service();
+  const auto resp = svc.handle(
+      "recommend objective=performance top_k=3 np=64 data=128MiB "
+      "request=4MiB op=write");
+  EXPECT_EQ(resp.rfind("ok 3 recommendations", 0), 0u) << resp;
+  // The best predicted config must be a pvfs.4 ephemeral one.
+  const auto first = resp.find("pvfs.4");
+  ASSERT_NE(first, std::string::npos) << resp;
+  EXPECT_LT(first, resp.find('\n', resp.find('\n') + 1) + 80);
+}
+
+TEST(QueryServiceTest, PredictReturnsNumericImprovement) {
+  auto svc = make_service();
+  const auto resp = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write");
+  EXPECT_EQ(resp.rfind("ok predicted_improvement=", 0), 0u) << resp;
+  const double v = std::stod(resp.substr(resp.find('=') + 1));
+  EXPECT_GT(v, 1.5);  // planted: ~4x better than baseline
+}
+
+TEST(QueryServiceTest, RankListsDimensions) {
+  auto svc = make_service();
+  const auto resp = svc.handle("rank top=3");
+  EXPECT_NE(resp.find("1. Disk device"), std::string::npos) << resp;
+  EXPECT_EQ(std::count(resp.begin(), resp.end(), '\n'), 4);
+}
+
+TEST(QueryServiceTest, StatsAndHelp) {
+  auto svc = make_service();
+  EXPECT_NE(svc.handle("stats").find("ok database="), std::string::npos);
+  EXPECT_NE(svc.handle("help").find("recommend"), std::string::npos);
+}
+
+TEST(QueryServiceTest, ErrorsAreReportedNotThrown) {
+  auto svc = make_service();
+  EXPECT_EQ(svc.handle("frobnicate").rfind("error", 0), 0u);
+  EXPECT_EQ(svc.handle("recommend objective=speed").rfind("error", 0), 0u);
+  EXPECT_EQ(svc.handle("predict np=4").rfind("error", 0), 0u);
+  EXPECT_EQ(svc.handle("recommend data=banana").rfind("error", 0), 0u);
+}
+
+TEST(QueryServiceTest, UpdateDatabaseRetrains) {
+  auto svc = make_service();
+  const auto before = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write");
+  // Replace with a database where *nothing* improves.
+  core::TrainingDatabase flat;
+  for (const auto& s : synthetic_db().samples()) {
+    auto copy = s;
+    copy.time = copy.baseline_time;  // improvement exactly 1.0
+    copy.cost = copy.baseline_cost;
+    flat.insert(copy);
+  }
+  svc.update_database(std::move(flat));
+  const auto after = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write");
+  const double v = std::stod(after.substr(after.find('=') + 1));
+  EXPECT_NEAR(v, 1.0, 1e-9);
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace acic::service

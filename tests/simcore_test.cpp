@@ -1,0 +1,257 @@
+// Unit tests for the discrete-event kernel, coroutine tasks and sync
+// primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "acic/common/error.hpp"
+#include "acic/simcore/simulator.hpp"
+#include "acic/simcore/sync.hpp"
+
+namespace acic::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(3.0, [&] { order.push_back(3); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, TiesFireFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator s;
+  s.at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.at(1.0, [] {}), Error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const auto id = s.at(1.0, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  double inner_time = -1.0;
+  s.at(1.0, [&] { s.in(2.0, [&] { inner_time = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(inner_time, 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(10.0, [&] { ++count; });
+  s.run_until(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.at(static_cast<double>(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+Task delayed_append(Simulator& s, std::vector<int>& out, SimTime dt, int tag) {
+  co_await s.delay(dt);
+  out.push_back(tag);
+}
+
+TEST(TaskTest, SpawnedProcessesInterleaveByTime) {
+  Simulator s;
+  std::vector<int> out;
+  s.spawn(delayed_append(s, out, 2.0, 2));
+  s.spawn(delayed_append(s, out, 1.0, 1));
+  s.spawn(delayed_append(s, out, 3.0, 3));
+  s.run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(s.all_processes_done());
+}
+
+Task parent_task(Simulator& s, std::vector<std::string>& log) {
+  log.push_back("parent-start");
+  co_await [](Simulator& sim, std::vector<std::string>& l) -> Task {
+    l.push_back("child-start");
+    co_await sim.delay(1.0);
+    l.push_back("child-end");
+  }(s, log);
+  log.push_back("parent-end");
+}
+
+TEST(TaskTest, AwaitingChildRunsToCompletion) {
+  Simulator s;
+  std::vector<std::string> log;
+  s.spawn(parent_task(s, log));
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"parent-start", "child-start",
+                                           "child-end", "parent-end"}));
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+Task throwing_task(Simulator& s) {
+  co_await s.delay(1.0);
+  throw Error("boom");
+}
+
+TEST(TaskTest, SpawnedExceptionSurfacesFromRun) {
+  Simulator s;
+  s.spawn(throwing_task(s));
+  EXPECT_THROW(s.run(), Error);
+}
+
+Task await_throwing_child(Simulator& s, bool& caught) {
+  try {
+    co_await throwing_task(s);
+  } catch (const Error&) {
+    caught = true;
+  }
+}
+
+TEST(TaskTest, ChildExceptionPropagatesToParent) {
+  Simulator s;
+  bool caught = false;
+  s.spawn(await_throwing_child(s, caught));
+  s.run();
+  EXPECT_TRUE(caught);
+}
+
+Task wait_on(Condition& c, int& wakeups) {
+  co_await c.wait();
+  ++wakeups;
+}
+
+TEST(SyncTest, ConditionNotifyAllWakesEveryWaiter) {
+  Simulator s;
+  Condition c(s);
+  int wakeups = 0;
+  for (int i = 0; i < 4; ++i) s.spawn(wait_on(c, wakeups));
+  s.at(1.0, [&] { c.notify_all(); });
+  s.run();
+  EXPECT_EQ(wakeups, 4);
+}
+
+TEST(SyncTest, ConditionNotifyOneWakesOldest) {
+  Simulator s;
+  Condition c(s);
+  int wakeups = 0;
+  for (int i = 0; i < 3; ++i) s.spawn(wait_on(c, wakeups));
+  s.at(1.0, [&] { c.notify_one(); });
+  s.run_until(2.0);
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(c.waiter_count(), 2u);
+  c.notify_all();
+  s.run();
+  EXPECT_EQ(wakeups, 3);
+}
+
+Task use_semaphore(Simulator& s, Semaphore& sem, SimTime hold, int& active,
+                   int& peak) {
+  co_await sem.acquire();
+  ++active;
+  peak = std::max(peak, active);
+  co_await s.delay(hold);
+  --active;
+  sem.release();
+}
+
+TEST(SyncTest, SemaphoreLimitsConcurrency) {
+  Simulator s;
+  Semaphore sem(s, 2);
+  int active = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) s.spawn(use_semaphore(s, sem, 1.0, active, peak));
+  s.run();
+  EXPECT_EQ(peak, 2);
+  // 6 holders of 1s each through 2 permits -> 3 serial rounds.
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+Task barrier_participant(Simulator& s, Barrier& b, SimTime arrive_at,
+                         std::vector<SimTime>& exit_times) {
+  co_await s.delay(arrive_at);
+  co_await b.arrive_and_wait();
+  exit_times.push_back(s.now());
+}
+
+TEST(SyncTest, BarrierReleasesAllAtLastArrival) {
+  Simulator s;
+  Barrier b(s, 3);
+  std::vector<SimTime> exits;
+  s.spawn(barrier_participant(s, b, 1.0, exits));
+  s.spawn(barrier_participant(s, b, 5.0, exits));
+  s.spawn(barrier_participant(s, b, 3.0, exits));
+  s.run();
+  ASSERT_EQ(exits.size(), 3u);
+  for (SimTime t : exits) EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+Task barrier_twice(Simulator& s, Barrier& b, SimTime d, int& phase_counter) {
+  co_await s.delay(d);
+  co_await b.arrive_and_wait();
+  ++phase_counter;
+  co_await s.delay(d);
+  co_await b.arrive_and_wait();
+  ++phase_counter;
+}
+
+TEST(SyncTest, BarrierIsReusable) {
+  Simulator s;
+  Barrier b(s, 2);
+  int phases = 0;
+  s.spawn(barrier_twice(s, b, 1.0, phases));
+  s.spawn(barrier_twice(s, b, 2.0, phases));
+  s.run();
+  EXPECT_EQ(phases, 4);
+  EXPECT_TRUE(s.all_processes_done());
+}
+
+Task consume(Simulator& s, Mailbox<int>& mb, std::vector<int>& got, int n) {
+  for (int i = 0; i < n; ++i) {
+    int v = 0;
+    co_await mb.recv_into(v);
+    got.push_back(v);
+  }
+  (void)s;
+}
+
+TEST(SyncTest, MailboxDeliversInOrder) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  std::vector<int> got;
+  s.spawn(consume(s, mb, got, 3));
+  s.at(1.0, [&] { mb.send(10); });
+  s.at(2.0, [&] {
+    mb.send(20);
+    mb.send(30);
+  });
+  s.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+  EXPECT_TRUE(mb.empty());
+}
+
+}  // namespace
+}  // namespace acic::sim
