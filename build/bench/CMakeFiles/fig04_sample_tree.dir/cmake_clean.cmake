@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sample_tree.dir/fig04_sample_tree.cpp.o"
+  "CMakeFiles/fig04_sample_tree.dir/fig04_sample_tree.cpp.o.d"
+  "CMakeFiles/fig04_sample_tree.dir/support.cpp.o"
+  "CMakeFiles/fig04_sample_tree.dir/support.cpp.o.d"
+  "fig04_sample_tree"
+  "fig04_sample_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sample_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

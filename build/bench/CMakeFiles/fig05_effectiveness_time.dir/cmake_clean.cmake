@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_effectiveness_time.dir/fig05_effectiveness_time.cpp.o"
+  "CMakeFiles/fig05_effectiveness_time.dir/fig05_effectiveness_time.cpp.o.d"
+  "CMakeFiles/fig05_effectiveness_time.dir/support.cpp.o"
+  "CMakeFiles/fig05_effectiveness_time.dir/support.cpp.o.d"
+  "fig05_effectiveness_time"
+  "fig05_effectiveness_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_effectiveness_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

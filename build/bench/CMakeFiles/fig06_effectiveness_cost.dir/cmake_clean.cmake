@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_effectiveness_cost.dir/fig06_effectiveness_cost.cpp.o"
+  "CMakeFiles/fig06_effectiveness_cost.dir/fig06_effectiveness_cost.cpp.o.d"
+  "CMakeFiles/fig06_effectiveness_cost.dir/support.cpp.o"
+  "CMakeFiles/fig06_effectiveness_cost.dir/support.cpp.o.d"
+  "fig06_effectiveness_cost"
+  "fig06_effectiveness_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_effectiveness_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_topk.dir/fig07_topk.cpp.o"
+  "CMakeFiles/fig07_topk.dir/fig07_topk.cpp.o.d"
+  "CMakeFiles/fig07_topk.dir/support.cpp.o"
+  "CMakeFiles/fig07_topk.dir/support.cpp.o.d"
+  "fig07_topk"
+  "fig07_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_training_cost.dir/fig08_training_cost.cpp.o"
+  "CMakeFiles/fig08_training_cost.dir/fig08_training_cost.cpp.o.d"
+  "CMakeFiles/fig08_training_cost.dir/support.cpp.o"
+  "CMakeFiles/fig08_training_cost.dir/support.cpp.o.d"
+  "fig08_training_cost"
+  "fig08_training_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_walking.dir/fig09_walking.cpp.o"
+  "CMakeFiles/fig09_walking.dir/fig09_walking.cpp.o.d"
+  "CMakeFiles/fig09_walking.dir/support.cpp.o"
+  "CMakeFiles/fig09_walking.dir/support.cpp.o.d"
+  "fig09_walking"
+  "fig09_walking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_walking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

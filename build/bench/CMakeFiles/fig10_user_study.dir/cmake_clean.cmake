@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_user_study.dir/fig10_user_study.cpp.o"
+  "CMakeFiles/fig10_user_study.dir/fig10_user_study.cpp.o.d"
+  "CMakeFiles/fig10_user_study.dir/support.cpp.o"
+  "CMakeFiles/fig10_user_study.dir/support.cpp.o.d"
+  "fig10_user_study"
+  "fig10_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

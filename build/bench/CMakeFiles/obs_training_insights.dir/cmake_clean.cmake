@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_training_insights.dir/obs_training_insights.cpp.o"
+  "CMakeFiles/obs_training_insights.dir/obs_training_insights.cpp.o.d"
+  "CMakeFiles/obs_training_insights.dir/support.cpp.o"
+  "CMakeFiles/obs_training_insights.dir/support.cpp.o.d"
+  "obs_training_insights"
+  "obs_training_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_training_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

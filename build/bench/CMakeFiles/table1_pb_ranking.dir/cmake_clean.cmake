@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pb_ranking.dir/support.cpp.o"
+  "CMakeFiles/table1_pb_ranking.dir/support.cpp.o.d"
+  "CMakeFiles/table1_pb_ranking.dir/table1_pb_ranking.cpp.o"
+  "CMakeFiles/table1_pb_ranking.dir/table1_pb_ranking.cpp.o.d"
+  "table1_pb_ranking"
+  "table1_pb_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pb_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pb_sample.dir/support.cpp.o"
+  "CMakeFiles/table2_pb_sample.dir/support.cpp.o.d"
+  "CMakeFiles/table2_pb_sample.dir/table2_pb_sample.cpp.o"
+  "CMakeFiles/table2_pb_sample.dir/table2_pb_sample.cpp.o.d"
+  "table2_pb_sample"
+  "table2_pb_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pb_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_pb_sample.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_optimal_configs.dir/support.cpp.o"
+  "CMakeFiles/table4_optimal_configs.dir/support.cpp.o.d"
+  "CMakeFiles/table4_optimal_configs.dir/table4_optimal_configs.cpp.o"
+  "CMakeFiles/table4_optimal_configs.dir/table4_optimal_configs.cpp.o.d"
+  "table4_optimal_configs"
+  "table4_optimal_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_optimal_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

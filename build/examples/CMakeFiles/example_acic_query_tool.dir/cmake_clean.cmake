@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_acic_query_tool.dir/acic_query_tool.cpp.o"
+  "CMakeFiles/example_acic_query_tool.dir/acic_query_tool.cpp.o.d"
+  "example_acic_query_tool"
+  "example_acic_query_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_acic_query_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

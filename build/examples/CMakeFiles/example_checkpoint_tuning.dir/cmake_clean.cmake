@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_tuning.dir/checkpoint_tuning.cpp.o"
+  "CMakeFiles/example_checkpoint_tuning.dir/checkpoint_tuning.cpp.o.d"
+  "example_checkpoint_tuning"
+  "example_checkpoint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

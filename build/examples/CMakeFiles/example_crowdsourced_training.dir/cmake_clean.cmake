@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crowdsourced_training.dir/crowdsourced_training.cpp.o"
+  "CMakeFiles/example_crowdsourced_training.dir/crowdsourced_training.cpp.o.d"
+  "example_crowdsourced_training"
+  "example_crowdsourced_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crowdsourced_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genomics_readfarm.dir/genomics_readfarm.cpp.o"
+  "CMakeFiles/example_genomics_readfarm.dir/genomics_readfarm.cpp.o.d"
+  "example_genomics_readfarm"
+  "example_genomics_readfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genomics_readfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

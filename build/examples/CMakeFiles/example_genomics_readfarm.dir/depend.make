@@ -1,0 +1,2 @@
+# Empty dependencies file for example_genomics_readfarm.
+# This may be replaced when dependencies are built.

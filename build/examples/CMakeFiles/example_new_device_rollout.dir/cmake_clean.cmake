@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_new_device_rollout.dir/new_device_rollout.cpp.o"
+  "CMakeFiles/example_new_device_rollout.dir/new_device_rollout.cpp.o.d"
+  "example_new_device_rollout"
+  "example_new_device_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_new_device_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

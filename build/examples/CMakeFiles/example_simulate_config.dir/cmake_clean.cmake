@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_simulate_config.dir/simulate_config.cpp.o"
+  "CMakeFiles/example_simulate_config.dir/simulate_config.cpp.o.d"
+  "example_simulate_config"
+  "example_simulate_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_simulate_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acic/apps/apps.cpp" "src/CMakeFiles/acic.dir/acic/apps/apps.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/apps/apps.cpp.o.d"
+  "/root/repo/src/acic/cloud/cluster.cpp" "src/CMakeFiles/acic.dir/acic/cloud/cluster.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/cloud/cluster.cpp.o.d"
+  "/root/repo/src/acic/cloud/failure.cpp" "src/CMakeFiles/acic.dir/acic/cloud/failure.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/cloud/failure.cpp.o.d"
+  "/root/repo/src/acic/cloud/instance.cpp" "src/CMakeFiles/acic.dir/acic/cloud/instance.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/cloud/instance.cpp.o.d"
+  "/root/repo/src/acic/cloud/ioconfig.cpp" "src/CMakeFiles/acic.dir/acic/cloud/ioconfig.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/cloud/ioconfig.cpp.o.d"
+  "/root/repo/src/acic/cloud/pricing.cpp" "src/CMakeFiles/acic.dir/acic/cloud/pricing.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/cloud/pricing.cpp.o.d"
+  "/root/repo/src/acic/common/csv.cpp" "src/CMakeFiles/acic.dir/acic/common/csv.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/csv.cpp.o.d"
+  "/root/repo/src/acic/common/parallel.cpp" "src/CMakeFiles/acic.dir/acic/common/parallel.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/parallel.cpp.o.d"
+  "/root/repo/src/acic/common/rng.cpp" "src/CMakeFiles/acic.dir/acic/common/rng.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/rng.cpp.o.d"
+  "/root/repo/src/acic/common/stats.cpp" "src/CMakeFiles/acic.dir/acic/common/stats.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/stats.cpp.o.d"
+  "/root/repo/src/acic/common/table.cpp" "src/CMakeFiles/acic.dir/acic/common/table.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/table.cpp.o.d"
+  "/root/repo/src/acic/common/units.cpp" "src/CMakeFiles/acic.dir/acic/common/units.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/common/units.cpp.o.d"
+  "/root/repo/src/acic/core/manual.cpp" "src/CMakeFiles/acic.dir/acic/core/manual.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/manual.cpp.o.d"
+  "/root/repo/src/acic/core/paramspace.cpp" "src/CMakeFiles/acic.dir/acic/core/paramspace.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/paramspace.cpp.o.d"
+  "/root/repo/src/acic/core/pbdesign.cpp" "src/CMakeFiles/acic.dir/acic/core/pbdesign.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/pbdesign.cpp.o.d"
+  "/root/repo/src/acic/core/predictor.cpp" "src/CMakeFiles/acic.dir/acic/core/predictor.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/predictor.cpp.o.d"
+  "/root/repo/src/acic/core/ranking.cpp" "src/CMakeFiles/acic.dir/acic/core/ranking.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/ranking.cpp.o.d"
+  "/root/repo/src/acic/core/training.cpp" "src/CMakeFiles/acic.dir/acic/core/training.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/training.cpp.o.d"
+  "/root/repo/src/acic/core/walker.cpp" "src/CMakeFiles/acic.dir/acic/core/walker.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/core/walker.cpp.o.d"
+  "/root/repo/src/acic/fs/filesystem.cpp" "src/CMakeFiles/acic.dir/acic/fs/filesystem.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/fs/filesystem.cpp.o.d"
+  "/root/repo/src/acic/fs/lustre.cpp" "src/CMakeFiles/acic.dir/acic/fs/lustre.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/fs/lustre.cpp.o.d"
+  "/root/repo/src/acic/fs/nfs.cpp" "src/CMakeFiles/acic.dir/acic/fs/nfs.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/fs/nfs.cpp.o.d"
+  "/root/repo/src/acic/fs/pvfs2.cpp" "src/CMakeFiles/acic.dir/acic/fs/pvfs2.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/fs/pvfs2.cpp.o.d"
+  "/root/repo/src/acic/io/middleware.cpp" "src/CMakeFiles/acic.dir/acic/io/middleware.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/io/middleware.cpp.o.d"
+  "/root/repo/src/acic/io/runner.cpp" "src/CMakeFiles/acic.dir/acic/io/runner.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/io/runner.cpp.o.d"
+  "/root/repo/src/acic/io/workload.cpp" "src/CMakeFiles/acic.dir/acic/io/workload.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/io/workload.cpp.o.d"
+  "/root/repo/src/acic/ior/ior.cpp" "src/CMakeFiles/acic.dir/acic/ior/ior.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/ior/ior.cpp.o.d"
+  "/root/repo/src/acic/ml/cart.cpp" "src/CMakeFiles/acic.dir/acic/ml/cart.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/ml/cart.cpp.o.d"
+  "/root/repo/src/acic/ml/dataset.cpp" "src/CMakeFiles/acic.dir/acic/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/ml/dataset.cpp.o.d"
+  "/root/repo/src/acic/ml/forest.cpp" "src/CMakeFiles/acic.dir/acic/ml/forest.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/ml/forest.cpp.o.d"
+  "/root/repo/src/acic/ml/knn.cpp" "src/CMakeFiles/acic.dir/acic/ml/knn.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/ml/knn.cpp.o.d"
+  "/root/repo/src/acic/mpi/runtime.cpp" "src/CMakeFiles/acic.dir/acic/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/mpi/runtime.cpp.o.d"
+  "/root/repo/src/acic/profiler/replay.cpp" "src/CMakeFiles/acic.dir/acic/profiler/replay.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/profiler/replay.cpp.o.d"
+  "/root/repo/src/acic/profiler/tracer.cpp" "src/CMakeFiles/acic.dir/acic/profiler/tracer.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/profiler/tracer.cpp.o.d"
+  "/root/repo/src/acic/service/query_service.cpp" "src/CMakeFiles/acic.dir/acic/service/query_service.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/service/query_service.cpp.o.d"
+  "/root/repo/src/acic/simcore/flow.cpp" "src/CMakeFiles/acic.dir/acic/simcore/flow.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/simcore/flow.cpp.o.d"
+  "/root/repo/src/acic/simcore/simulator.cpp" "src/CMakeFiles/acic.dir/acic/simcore/simulator.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/simcore/simulator.cpp.o.d"
+  "/root/repo/src/acic/storage/device.cpp" "src/CMakeFiles/acic.dir/acic/storage/device.cpp.o" "gcc" "src/CMakeFiles/acic.dir/acic/storage/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

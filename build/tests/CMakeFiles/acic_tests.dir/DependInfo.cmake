@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acic_core_test.cpp" "tests/CMakeFiles/acic_tests.dir/acic_core_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/acic_core_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/acic_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/cloud_test.cpp" "tests/CMakeFiles/acic_tests.dir/cloud_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/cloud_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/acic_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/extension_test.cpp" "tests/CMakeFiles/acic_tests.dir/extension_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/extension_test.cpp.o.d"
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/acic_tests.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/flow_test.cpp.o.d"
+  "/root/repo/tests/fs_test.cpp" "tests/CMakeFiles/acic_tests.dir/fs_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/fs_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/acic_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/lustre_test.cpp" "tests/CMakeFiles/acic_tests.dir/lustre_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/lustre_test.cpp.o.d"
+  "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/acic_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/ml_test.cpp.o.d"
+  "/root/repo/tests/mpi_test.cpp" "tests/CMakeFiles/acic_tests.dir/mpi_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/mpi_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/acic_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/paramspace_test.cpp" "tests/CMakeFiles/acic_tests.dir/paramspace_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/paramspace_test.cpp.o.d"
+  "/root/repo/tests/pbdesign_test.cpp" "tests/CMakeFiles/acic_tests.dir/pbdesign_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/pbdesign_test.cpp.o.d"
+  "/root/repo/tests/pricing_test.cpp" "tests/CMakeFiles/acic_tests.dir/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/pricing_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/acic_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/acic_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/acic_tests.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/replay_test.cpp.o.d"
+  "/root/repo/tests/service_test.cpp" "tests/CMakeFiles/acic_tests.dir/service_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/service_test.cpp.o.d"
+  "/root/repo/tests/simcore_test.cpp" "tests/CMakeFiles/acic_tests.dir/simcore_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/simcore_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/acic_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/acic_tests.dir/storage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
