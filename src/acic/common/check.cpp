@@ -1,0 +1,79 @@
+#include "acic/common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace acic {
+
+namespace {
+
+std::atomic<ContractHandler> g_handler{&throw_contract_handler};
+
+}  // namespace
+
+const char* to_string(ContractKind kind) {
+  switch (kind) {
+    case ContractKind::kCheck:
+      return "ACIC_CHECK";
+    case ContractKind::kExpects:
+      return "ACIC_EXPECTS";
+    case ContractKind::kEnsures:
+      return "ACIC_ENSURES";
+    case ContractKind::kDcheck:
+      return "ACIC_DCHECK";
+  }
+  return "ACIC_CHECK";
+}
+
+std::string ContractViolation::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " failed: (" << expression << ") at " << file
+     << ":" << line << " in " << function;
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+ContractError::ContractError(ContractViolation violation)
+    : Error(violation.describe()), violation_(std::move(violation)) {}
+
+void throw_contract_handler(const ContractViolation& violation) {
+  throw ContractError(violation);
+}
+
+void abort_contract_handler(const ContractViolation& violation) {
+  const std::string text = violation.describe();
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+ContractHandler set_contract_handler(ContractHandler handler) {
+  ACIC_EXPECTS(handler != nullptr);
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+ContractHandler contract_handler() {
+  return g_handler.load(std::memory_order_acquire);
+}
+
+namespace detail {
+
+void contract_fail(ContractKind kind, const char* expr, const char* file,
+                   int line, const char* function, std::string message) {
+  ContractViolation violation;
+  violation.kind = kind;
+  violation.expression = expr;
+  violation.file = file;
+  violation.line = line;
+  violation.function = function;
+  violation.message = std::move(message);
+  contract_handler()(violation);
+  // A handler that returns leaves the violated invariant live; refuse to
+  // continue past it.
+  abort_contract_handler(violation);
+}
+
+}  // namespace detail
+}  // namespace acic

@@ -1,0 +1,180 @@
+// Contract-checking subsystem used across the library.
+//
+// Two tiers of checks:
+//
+//  * Always-on — `ACIC_CHECK` (internal invariant), `ACIC_EXPECTS`
+//    (precondition at an API boundary) and `ACIC_ENSURES`
+//    (postcondition).  These stay active in every build type; they guard
+//    conditions whose violation would silently corrupt simulation results
+//    (the paper's core claim is that identical configs map to identical
+//    time/cost, so a corrupted run is worse than an aborted one).
+//
+//  * Debug-tier — `ACIC_DCHECK`, for O(n) audits and hot inner loops.
+//    Compiled out when `ACIC_ENABLE_DCHECKS` is 0 (the default for
+//    NDEBUG builds); force-enabled by the sanitizer presets via the
+//    `ACIC_DCHECKS` CMake option.
+//
+// Every macro accepts an optional streamed message after the condition:
+//
+//   ACIC_CHECK(t >= now_, "event scheduled in the past: t=" << t);
+//
+// On violation the installed failure handler receives a fully-described
+// `ContractViolation` (kind, expression, file:line, function, message).
+// The default handler throws `acic::ContractError` (derived from
+// `acic::Error`, so existing `EXPECT_THROW(..., Error)` tests keep
+// working); `abort_contract_handler` prints and aborts for fail-fast
+// production binaries and death tests.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acic {
+
+/// Base error type for the library (kept here so `ContractError` can
+/// derive from it; `acic/common/error.hpp` re-exports it).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class ContractKind : std::uint8_t {
+  kCheck,    ///< internal invariant (ACIC_CHECK)
+  kExpects,  ///< precondition (ACIC_EXPECTS)
+  kEnsures,  ///< postcondition (ACIC_ENSURES)
+  kDcheck,   ///< debug-tier audit (ACIC_DCHECK)
+};
+
+const char* to_string(ContractKind kind);
+
+/// Everything known about a failed contract, handed to the failure
+/// handler before any unwinding happens.
+struct ContractViolation {
+  ContractKind kind = ContractKind::kCheck;
+  const char* expression = "";
+  const char* file = "";
+  int line = 0;
+  const char* function = "";
+  std::string message;  ///< formatted user message, possibly empty
+
+  /// "ACIC_CHECK failed: (expr) at file:line in fn — message"
+  std::string describe() const;
+};
+
+/// Thrown by the default failure handler.
+class ContractError : public Error {
+ public:
+  explicit ContractError(ContractViolation violation);
+  const ContractViolation& violation() const { return violation_; }
+
+ private:
+  ContractViolation violation_;
+};
+
+/// A failure handler must not return; if it does, the runtime aborts.
+using ContractHandler = void (*)(const ContractViolation&);
+
+/// Default: throw `ContractError` (unit-testable failures).
+[[noreturn]] void throw_contract_handler(const ContractViolation& violation);
+
+/// Print the violation to stderr and abort (fail-fast binaries,
+/// death tests, contexts where unwinding is unsafe).
+[[noreturn]] void abort_contract_handler(const ContractViolation& violation);
+
+/// Install a handler; returns the previous one.  Thread-safe.
+ContractHandler set_contract_handler(ContractHandler handler);
+ContractHandler contract_handler();
+
+/// RAII handler swap for tests.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(ContractHandler handler)
+      : previous_(set_contract_handler(handler)) {}
+  ~ScopedContractHandler() { set_contract_handler(previous_); }
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_;
+};
+
+namespace detail {
+
+/// Seed for the streamed-message macro argument: builds a std::string
+/// from `<<` chains without requiring a named ostringstream at the
+/// call site.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(T&& value) {
+    os_ << value;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Dispatch a violation to the installed handler (never returns).
+[[noreturn]] void contract_fail(ContractKind kind, const char* expr,
+                                const char* file, int line,
+                                const char* function, std::string message);
+
+}  // namespace detail
+}  // namespace acic
+
+// Tier selection: ACIC_ENABLE_DCHECKS may be forced from the build
+// system; otherwise it follows NDEBUG.
+#if !defined(ACIC_ENABLE_DCHECKS)
+#if defined(NDEBUG)
+#define ACIC_ENABLE_DCHECKS 0
+#else
+#define ACIC_ENABLE_DCHECKS 1
+#endif
+#endif
+
+namespace acic {
+/// True when ACIC_DCHECK conditions are evaluated in this build.
+constexpr bool contract_dchecks_enabled() { return ACIC_ENABLE_DCHECKS != 0; }
+}  // namespace acic
+
+#define ACIC_CONTRACT_CHECK_(kind, cond, ...)                                \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::acic::detail::contract_fail(                                         \
+          kind, #cond, __FILE__, __LINE__,                                   \
+          static_cast<const char*>(__func__),                                \
+          (::acic::detail::MessageStream{} __VA_OPT__(<< __VA_ARGS__))       \
+              .str());                                                       \
+    }                                                                        \
+  } while (0)
+
+/// Always-on internal invariant.
+#define ACIC_CHECK(...) \
+  ACIC_CONTRACT_CHECK_(::acic::ContractKind::kCheck, __VA_ARGS__)
+
+/// Always-on precondition (argument/state validation at API boundaries).
+#define ACIC_EXPECTS(...) \
+  ACIC_CONTRACT_CHECK_(::acic::ContractKind::kExpects, __VA_ARGS__)
+
+/// Always-on postcondition (result validation before returning).
+#define ACIC_ENSURES(...) \
+  ACIC_CONTRACT_CHECK_(::acic::ContractKind::kEnsures, __VA_ARGS__)
+
+/// Debug-tier audit: compiled out (condition parsed, never evaluated)
+/// unless ACIC_ENABLE_DCHECKS is set.
+#if ACIC_ENABLE_DCHECKS
+#define ACIC_DCHECK(...) \
+  ACIC_CONTRACT_CHECK_(::acic::ContractKind::kDcheck, __VA_ARGS__)
+#else
+#define ACIC_DCHECK(cond, ...)   \
+  do {                           \
+    (void)sizeof(!(cond));       \
+  } while (0)
+#endif
+
+/// Back-compat spelling from the original error.hpp.
+#define ACIC_CHECK_MSG(cond, msg) ACIC_CHECK(cond, msg)

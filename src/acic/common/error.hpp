@@ -1,45 +1,9 @@
 // Error handling used across the library.
 //
-// The library throws `acic::Error` for contract violations and unexpected
-// states; ACIC_CHECK is the assertion macro used on hot-but-not-inner-loop
-// paths so misuse is diagnosed in release builds too.
+// `acic::Error`, the contract macros (ACIC_CHECK / ACIC_EXPECTS /
+// ACIC_ENSURES / ACIC_DCHECK) and the pluggable failure handler all live
+// in check.hpp; this header remains as the conventional include for code
+// that throws or catches `acic::Error`.
 #pragma once
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
-
-namespace acic {
-
-class Error : public std::runtime_error {
- public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "ACIC_CHECK failed: (" << expr << ") at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
-}
-}  // namespace detail
-
-}  // namespace acic
-
-#define ACIC_CHECK(expr)                                              \
-  do {                                                                \
-    if (!(expr))                                                      \
-      ::acic::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
-  } while (0)
-
-#define ACIC_CHECK_MSG(expr, msg)                                        \
-  do {                                                                   \
-    if (!(expr)) {                                                       \
-      std::ostringstream acic_os_;                                       \
-      acic_os_ << msg;                                                   \
-      ::acic::detail::check_failed(#expr, __FILE__, __LINE__,            \
-                                   acic_os_.str());                      \
-    }                                                                    \
-  } while (0)
+#include "acic/common/check.hpp"

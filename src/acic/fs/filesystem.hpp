@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "acic/cloud/cluster.hpp"
+#include "acic/common/check.hpp"
 #include "acic/common/units.hpp"
 #include "acic/simcore/task.hpp"
 
@@ -83,6 +84,8 @@ class FileSystem {
 
  protected:
   void account(Bytes bytes, double op_weight) {
+    ACIC_EXPECTS(bytes >= 0.0, "negative request size " << bytes);
+    ACIC_EXPECTS(op_weight > 0.0, "non-positive op weight " << op_weight);
     requests_ += static_cast<std::uint64_t>(op_weight + 0.5);
     bytes_ += bytes;
   }

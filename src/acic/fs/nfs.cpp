@@ -8,10 +8,16 @@ namespace acic::fs {
 
 namespace {
 constexpr int kServer = 0;  // NFS has exactly one server
+// Slack for fp residue in the dirty-byte accounting audits.
+constexpr Bytes kEpsilonBytesNfs = 1e-3;
 }
 
 NfsModel::NfsModel(cloud::ClusterModel& cluster, FsTuning tuning)
     : cluster_(cluster), tuning_(tuning) {
+  ACIC_EXPECTS(tuning_.nfs_cache_fraction >= 0.0 &&
+                   tuning_.nfs_cache_fraction <= 1.0,
+               "nfs_cache_fraction " << tuning_.nfs_cache_fraction
+                                     << " outside [0, 1]");
   cache_capacity_ =
       tuning_.nfs_cache_fraction * cluster_.spec().memory_gb * GiB;
 }
@@ -46,6 +52,17 @@ sim::Task NfsModel::request(int rank, Bytes bytes, bool is_write,
   drain_to_now();
   const bool absorbed =
       is_write && (dirty_ + bytes <= cache_capacity_);
+  if (absorbed) {
+    // Reserve the cache space at admission time, before any co_await: other
+    // requests interleave during the transfer below, and admitting them
+    // against a stale dirty level would overfill the cache (caught by the
+    // occupancy ACIC_DCHECK when this reservation was still done after the
+    // transfer).
+    dirty_ += bytes;
+    ACIC_DCHECK(dirty_ <= cache_capacity_ + kEpsilonBytesNfs,
+                "NFS write-back cache overfilled: dirty="
+                    << dirty_ << " capacity=" << cache_capacity_);
+  }
 
   // Serialized server-side service: software + seek where the device is
   // actually touched (cache-absorbed writes skip the seek entirely).
@@ -69,8 +86,6 @@ sim::Task NfsModel::request(int rank, Bytes bytes, bool is_write,
     } else {
       co_await cluster_.network().transfer(std::move(path), bytes);
     }
-    drain_to_now();
-    dirty_ += bytes;
   } else {
     auto path = is_write ? cluster_.write_path(rank, kServer)
                          : cluster_.read_path(rank, kServer);

@@ -13,8 +13,9 @@ Pvfs2Model::Pvfs2Model(cloud::ClusterModel& cluster, FsTuning tuning)
       tuning_(tuning),
       stripe_(cluster.options().config.stripe_size),
       servers_(cluster.num_io_servers()) {
-  ACIC_CHECK(stripe_ > 0.0);
-  ACIC_CHECK(servers_ >= 1);
+  ACIC_EXPECTS(stripe_ > 0.0, "non-positive PVFS2 stripe size " << stripe_);
+  ACIC_EXPECTS(servers_ >= 1,
+               "PVFS2 needs at least one I/O server, got " << servers_);
 }
 
 int Pvfs2Model::servers_touched(Bytes bytes) const {
@@ -25,6 +26,8 @@ int Pvfs2Model::servers_touched(Bytes bytes) const {
 
 sim::Task Pvfs2Model::server_chunk(int rank, int server, Bytes bytes,
                                    bool is_write, double op_weight) {
+  ACIC_DCHECK(server >= 0 && server < servers_,
+              "stripe routed to unknown server " << server);
   auto& sim = cluster_.simulator();
   if (!cluster_.rank_colocated_with_server(rank, server)) {
     co_await sim.delay(cluster_.network_rpc_latency() * op_weight);

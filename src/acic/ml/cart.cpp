@@ -23,7 +23,13 @@ struct SplitChoice {
 }  // namespace
 
 CartTree CartTree::train(const Dataset& data, const CartParams& params) {
-  ACIC_CHECK_MSG(data.rows() > 0, "cannot fit CART on an empty dataset");
+  ACIC_EXPECTS(data.rows() > 0, "cannot fit CART on an empty dataset");
+  ACIC_EXPECTS(params.max_depth >= 1,
+               "CART max_depth must be >= 1, got " << params.max_depth);
+  ACIC_EXPECTS(params.min_samples_leaf >= 1 && params.min_samples_split >= 2,
+               "degenerate CART split parameters: min_samples_leaf="
+                   << params.min_samples_leaf
+                   << " min_samples_split=" << params.min_samples_split);
   CartTree tree;
 
   const Dataset* train = &data;
@@ -58,6 +64,8 @@ int CartTree::build(const Dataset& data, std::vector<std::size_t>& index,
     sum_sq += y * y;
   }
   node.mean = sum / static_cast<double>(n);
+  ACIC_CHECK(std::isfinite(node.mean),
+             "non-finite node mean (loss) over " << n << " samples");
   const double sse_here =
       std::max(0.0, sum_sq - sum * sum / static_cast<double>(n));
   node.stddev = std::sqrt(sse_here / static_cast<double>(n));
@@ -124,7 +132,10 @@ int CartTree::build(const Dataset& data, std::vector<std::size_t>& index,
                                     thr; });
   const std::size_t mid =
       static_cast<std::size_t>(mid_it - index.begin());
-  ACIC_CHECK(mid > begin && mid < end);
+  ACIC_CHECK(mid > begin && mid < end,
+             "CART split produced an empty side: begin=" << begin << " mid="
+                                                         << mid
+                                                         << " end=" << end);
 
   const int left = build(data, index, begin, mid, depth + 1, params);
   const int right = build(data, index, mid, end, depth + 1, params);
@@ -176,12 +187,18 @@ void CartTree::prune_with(const Dataset& validation) {
 }
 
 double CartTree::predict(std::span<const double> features) const {
-  ACIC_CHECK_MSG(root_ >= 0, "predict() on an unfitted tree");
+  ACIC_EXPECTS(root_ >= 0, "predict() on an unfitted tree");
   int n = root_;
   while (true) {
     const Node& node = nodes_[static_cast<std::size_t>(n)];
-    if (node.leaf) return node.mean;
-    ACIC_CHECK(static_cast<std::size_t>(node.feature) < features.size());
+    if (node.leaf) {
+      ACIC_ENSURES(std::isfinite(node.mean), "non-finite CART prediction");
+      return node.mean;
+    }
+    ACIC_CHECK(static_cast<std::size_t>(node.feature) < features.size(),
+               "tree split on feature " << node.feature << " but only "
+                                        << features.size()
+                                        << " features supplied");
     n = features[static_cast<std::size_t>(node.feature)] < node.threshold
             ? node.left
             : node.right;

@@ -1,14 +1,27 @@
 #include "acic/ml/dataset.hpp"
 
+#include <cmath>
+
 #include "acic/common/error.hpp"
 
 namespace acic::ml {
 
 void Dataset::add(std::vector<double> features, double target) {
   if (!x.empty()) {
-    ACIC_CHECK_MSG(features.size() == x.front().size(),
-                   "inconsistent feature arity");
+    ACIC_EXPECTS(features.size() == x.front().size(),
+                 "inconsistent feature arity: got " << features.size()
+                                                    << " expected "
+                                                    << x.front().size());
   }
+  ACIC_EXPECTS(std::isfinite(target), "non-finite training target " << target);
+  ACIC_DCHECK(
+      [&features] {
+        for (double v : features) {
+          if (!std::isfinite(v)) return false;
+        }
+        return true;
+      }(),
+      "non-finite feature value in training row");
   x.push_back(std::move(features));
   y.push_back(target);
 }

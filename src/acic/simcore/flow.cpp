@@ -24,14 +24,16 @@ bool flow_done(Bytes remaining, double rate) {
 }  // namespace
 
 ResourceId FlowNetwork::add_resource(std::string name, double capacity) {
-  ACIC_CHECK_MSG(capacity >= 0.0, "negative capacity for " << name);
+  ACIC_EXPECTS(capacity >= 0.0, "negative capacity " << capacity << " for "
+                                                     << name);
   resources_.push_back(Resource{std::move(name), capacity});
   return resources_.size() - 1;
 }
 
 void FlowNetwork::set_capacity(ResourceId id, double capacity) {
-  ACIC_CHECK(id < resources_.size());
-  ACIC_CHECK(capacity >= 0.0);
+  ACIC_EXPECTS(id < resources_.size(), "unknown resource " << id);
+  ACIC_EXPECTS(capacity >= 0.0, "negative capacity " << capacity << " for "
+                                                     << resources_[id].name);
   advance();
   resources_[id].capacity = capacity;
   recompute_rates();
@@ -39,22 +41,39 @@ void FlowNetwork::set_capacity(ResourceId id, double capacity) {
 }
 
 double FlowNetwork::capacity(ResourceId id) const {
-  ACIC_CHECK(id < resources_.size());
+  ACIC_EXPECTS(id < resources_.size(), "unknown resource " << id);
   return resources_[id].capacity;
 }
 
 const std::string& FlowNetwork::resource_name(ResourceId id) const {
-  ACIC_CHECK(id < resources_.size());
+  ACIC_EXPECTS(id < resources_.size(), "unknown resource " << id);
   return resources_[id].name;
 }
 
 FlowId FlowNetwork::start_flow(std::vector<ResourceId> path, Bytes bytes,
                                std::function<void()> on_complete) {
-  ACIC_CHECK_MSG(!path.empty(), "flow path must name at least one resource");
-  for (ResourceId r : path) ACIC_CHECK(r < resources_.size());
-  ACIC_CHECK(bytes >= 0.0);
+  ACIC_EXPECTS(!path.empty(), "flow path must name at least one resource");
+  for (ResourceId r : path) {
+    ACIC_EXPECTS(r < resources_.size(), "unknown resource " << r
+                                                            << " in flow path");
+  }
+  // Duplicate resources in one path would double-count the flow against
+  // that resource in the max-min solve (documented contract; O(p^2) over
+  // paths of length <= 4, so debug tier only).
+  ACIC_DCHECK(
+      [&path] {
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          for (std::size_t j = i + 1; j < path.size(); ++j) {
+            if (path[i] == path[j]) return false;
+          }
+        }
+        return true;
+      }(),
+      "flow path crosses the same resource twice");
+  ACIC_EXPECTS(bytes >= 0.0, "negative flow size " << bytes);
 
   const FlowId id = next_flow_id_++;
+  bytes_injected_ += bytes;
   if (bytes <= kEpsilonBytes) {
     bytes_delivered_ += bytes;
     if (on_complete) sim_.at(sim_.now(), std::move(on_complete));
@@ -209,15 +228,45 @@ void FlowNetwork::handle_completion_event(std::uint64_t generation) {
   std::vector<std::function<void()>> callbacks;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (flow_done(it->remaining, it->rate)) {
+      // Credit the sub-epsilon residue so bytes_delivered() sums to
+      // exactly what was injected (byte conservation).
+      bytes_delivered_ += it->remaining;
       if (it->on_complete) callbacks.push_back(std::move(it->on_complete));
       it = flows_.erase(it);
     } else {
       ++it;
     }
   }
+  ACIC_DCHECK(bytes_conserved(),
+              "flow byte conservation violated: injected="
+                  << bytes_injected_ << " delivered=" << bytes_delivered_);
   recompute_rates();
+  ACIC_DCHECK(rates_feasible(), "max-min solve oversubscribed a resource");
   schedule_next_completion();
   for (auto& cb : callbacks) sim_.at(sim_.now(), std::move(cb));
+}
+
+bool FlowNetwork::bytes_conserved() const {
+  Bytes in_flight = 0.0;
+  for (const auto& f : flows_) in_flight += f.remaining;
+  const Bytes drift =
+      bytes_injected_ - (bytes_delivered_ + in_flight);
+  // fp noise from rate integration scales with the totals involved.
+  const Bytes tolerance =
+      1e-6 * std::max(1.0, bytes_injected_);
+  return drift >= -tolerance && drift <= tolerance;
+}
+
+bool FlowNetwork::rates_feasible() const {
+  std::vector<double> load(resources_.size(), 0.0);
+  for (const auto& f : flows_) {
+    if (f.rate <= 0.0) continue;
+    for (ResourceId r : f.path) load[r] += f.rate;
+  }
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    if (load[r] > resources_[r].capacity * (1.0 + 1e-9) + 1e-9) return false;
+  }
+  return true;
 }
 
 }  // namespace acic::sim

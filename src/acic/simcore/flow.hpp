@@ -68,6 +68,9 @@ class FlowNetwork {
   /// Cumulative bytes delivered across all completed flows.
   Bytes bytes_delivered() const { return bytes_delivered_; }
 
+  /// Cumulative bytes injected by start_flow()/transfer() since creation.
+  Bytes bytes_injected() const { return bytes_injected_; }
+
  private:
   struct Flow {
     FlowId id = kInvalidFlow;
@@ -81,6 +84,11 @@ class FlowNetwork {
   void advance();
   /// Re-solve max-min fair sharing (progressive filling).
   void recompute_rates();
+  /// Byte conservation: injected == delivered + in-flight (within fp
+  /// noise).  Backs an ACIC_DCHECK after every completion sweep.
+  bool bytes_conserved() const;
+  /// Allocation feasibility: no resource carries more than its capacity.
+  bool rates_feasible() const;
   /// (Re)arm the single pending completion event.
   void schedule_next_completion();
   void handle_completion_event(std::uint64_t generation);
@@ -96,6 +104,7 @@ class FlowNetwork {
   std::uint64_t generation_ = 0;
   FlowId next_flow_id_ = 1;
   Bytes bytes_delivered_ = 0.0;
+  Bytes bytes_injected_ = 0.0;
 };
 
 }  // namespace acic::sim

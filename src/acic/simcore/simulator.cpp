@@ -7,17 +7,22 @@
 namespace acic::sim {
 
 EventId Simulator::at(SimTime t, std::function<void()> fn) {
-  ACIC_CHECK_MSG(t >= now_, "event scheduled in the past: t=" << t
-                                                              << " now=" << now_);
+  ACIC_EXPECTS(t >= now_, "event scheduled in the past: t=" << t
+                                                            << " now=" << now_);
+  ACIC_EXPECTS(fn != nullptr, "event scheduled with an empty callback");
   const EventId id = next_id_++;
   queue_.push(Scheduled{t, id, std::move(fn)});
   return id;
 }
 
-void Simulator::cancel(EventId id) { cancelled_.push_back(id); }
+void Simulator::cancel(EventId id) {
+  ACIC_EXPECTS(id >= 1 && id < next_id_,
+               "cancel of EventId " << id << " that was never issued");
+  cancelled_.push_back(id);
+}
 
 void Simulator::spawn(Task task) {
-  ACIC_CHECK(task.valid());
+  ACIC_EXPECTS(task.valid(), "spawn() needs a live coroutine");
   // Start before storing: the process may spawn further processes
   // re-entrantly, which would reallocate `processes_` under a reference.
   task.start_detached();
@@ -51,6 +56,16 @@ bool Simulator::step() {
       cancelled_.erase(it);
       continue;
     }
+    // Kernel invariants: virtual time never rewinds, and equal-time events
+    // fire in issue order (the determinism contract the trained models and
+    // every regression figure rely on).
+    ACIC_CHECK(ev.t >= now_, "event queue yielded a past event: t="
+                                 << ev.t << " now=" << now_);
+    ACIC_DCHECK(ev.t > last_fired_t_ ||
+                    (ev.t == last_fired_t_ && ev.id > last_fired_id_),
+                "FIFO tie-break violated at t=" << ev.t << " id=" << ev.id);
+    last_fired_t_ = ev.t;
+    last_fired_id_ = ev.id;
     now_ = ev.t;
     ++executed_;
     ev.fn();
@@ -75,6 +90,9 @@ void Simulator::run_until_processes_done() {
 }
 
 void Simulator::run_until(SimTime deadline) {
+  ACIC_EXPECTS(deadline >= now_, "run_until(" << deadline
+                                              << ") would rewind the clock from "
+                                              << now_);
   while (!queue_.empty() && queue_.top().t <= deadline) {
     step();
   }

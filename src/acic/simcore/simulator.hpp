@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "acic/common/check.hpp"
 #include "acic/common/units.hpp"
 #include "acic/simcore/task.hpp"
 
@@ -69,7 +70,10 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Awaitable for `co_await simulator.delay(dt)` inside a Task.
+  /// Delays must be non-negative: a negative dt is always a sign of broken
+  /// time arithmetic upstream, not a request to travel backwards.
   auto delay(SimTime dt) {
+    ACIC_DCHECK(dt >= 0.0, "negative delay " << dt);
     struct Awaiter {
       Simulator& sim;
       SimTime dt;
@@ -102,6 +106,10 @@ class Simulator {
 
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
+  // Last fired (t, id) pair; backs the ACIC_DCHECK that equal-time events
+  // fire in strictly increasing id order.
+  SimTime last_fired_t_ = -1.0;
+  EventId last_fired_id_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t spawned_since_compact_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;

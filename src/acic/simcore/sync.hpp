@@ -115,6 +115,9 @@ class Barrier {
       bool await_ready() const noexcept { return false; }
       bool await_suspend(std::coroutine_handle<> h) {
         ++bar.arrived_;
+        ACIC_DCHECK(bar.arrived_ <= bar.parties_,
+                    "barrier overrun: " << bar.arrived_ << " arrivals for "
+                                        << bar.parties_ << " parties");
         if (bar.arrived_ == bar.parties_) {
           // The last arriver releases everyone and proceeds immediately.
           bar.release_all();

@@ -18,6 +18,8 @@
 #include <exception>
 #include <utility>
 
+#include "acic/common/check.hpp"
+
 namespace acic::sim {
 
 class [[nodiscard]] Task {
@@ -67,7 +69,10 @@ class [[nodiscard]] Task {
 
   /// Start the coroutine without an awaiting parent (used by spawn()).
   void start_detached() {
-    if (handle_ && !handle_.done()) handle_.resume();
+    ACIC_EXPECTS(handle_, "start_detached() on an empty Task");
+    ACIC_CHECK(!handle_.promise().finished,
+               "resume of a finished coroutine frame");
+    handle_.resume();
   }
 
   /// Rethrow an exception that escaped the coroutine body, if any.
@@ -86,6 +91,10 @@ class [[nodiscard]] Task {
       }
       std::coroutine_handle<> await_suspend(
           std::coroutine_handle<> parent) noexcept {
+        // A child with a continuation already set is being awaited twice;
+        // resuming two parents from one final-suspend would be UB.
+        ACIC_DCHECK(!child.promise().continuation,
+                    "Task awaited by two parents");
         child.promise().continuation = parent;
         return child;  // symmetric transfer into the child
       }

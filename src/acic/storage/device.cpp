@@ -59,15 +59,18 @@ DeviceType device_type_from_string(const std::string& s) {
 }
 
 double raid0_bandwidth(const DeviceSpec& spec, int count, bool for_write) {
-  ACIC_CHECK(count >= 1);
+  ACIC_EXPECTS(count >= 1, "RAID-0 needs at least one member, got " << count);
   const double base = for_write ? spec.write_bandwidth : spec.read_bandwidth;
   // mdraid chunking overhead eats a few percent per extra member.
   const double efficiency = 1.0 - 0.03 * static_cast<double>(count - 1);
-  return base * count * std::max(efficiency, 0.7);
+  const double bandwidth = base * count * std::max(efficiency, 0.7);
+  ACIC_ENSURES(bandwidth >= base, "RAID-0 of " << count << " x " << spec.name
+                                               << " slower than one member");
+  return bandwidth;
 }
 
 SimTime raid0_latency(const DeviceSpec& spec, int count) {
-  ACIC_CHECK(count >= 1);
+  ACIC_EXPECTS(count >= 1, "RAID-0 needs at least one member, got " << count);
   // Members are hit in parallel; splitting adds ~5 % per extra member.
   return spec.per_op_latency * (1.0 + 0.05 * static_cast<double>(count - 1));
 }

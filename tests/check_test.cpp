@@ -1,0 +1,132 @@
+// Tests for the acic::check contract subsystem: macro tiers, violation
+// context, the pluggable failure handler, and fail-fast behaviour of a
+// deliberately violated simulator invariant.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "acic/common/check.hpp"
+#include "acic/simcore/simulator.hpp"
+
+namespace acic {
+namespace {
+
+TEST(ContractTest, PassingChecksAreSilent) {
+  ACIC_CHECK(1 + 1 == 2);
+  ACIC_EXPECTS(true, "never rendered");
+  ACIC_ENSURES(2 > 1);
+  ACIC_DCHECK(true);
+}
+
+TEST(ContractTest, CheckCarriesFullContext) {
+  try {
+    ACIC_CHECK(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ACIC_CHECK failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("value was 42"), std::string::npos) << what;
+    EXPECT_EQ(e.violation().kind, ContractKind::kCheck);
+    EXPECT_GT(e.violation().line, 0);
+  }
+}
+
+TEST(ContractTest, ExpectsAndEnsuresReportTheirKind) {
+  try {
+    ACIC_EXPECTS(false);
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    EXPECT_EQ(e.violation().kind, ContractKind::kExpects);
+    EXPECT_NE(std::string(e.what()).find("ACIC_EXPECTS failed"),
+              std::string::npos);
+  }
+  try {
+    ACIC_ENSURES(false);
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    EXPECT_EQ(e.violation().kind, ContractKind::kEnsures);
+    EXPECT_NE(std::string(e.what()).find("ACIC_ENSURES failed"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractTest, ContractErrorIsAnAcicError) {
+  // Existing EXPECT_THROW(..., Error) sites must keep catching contract
+  // violations after the error.hpp -> check.hpp migration.
+  EXPECT_THROW(ACIC_CHECK(false), Error);
+}
+
+TEST(ContractTest, DcheckFollowsTheConfiguredTier) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  ACIC_DCHECK(count());
+  EXPECT_EQ(evaluations, contract_dchecks_enabled() ? 1 : 0);
+  if (contract_dchecks_enabled()) {
+    EXPECT_THROW(ACIC_DCHECK(false, "debug audit"), ContractError);
+  } else {
+    ACIC_DCHECK(false, "compiled out");  // must not fire
+  }
+}
+
+struct CustomFailure {
+  std::string text;
+};
+
+[[noreturn]] void custom_handler(const ContractViolation& violation) {
+  throw CustomFailure{violation.describe()};
+}
+
+TEST(ContractTest, HandlerIsPluggableAndRestored) {
+  const ContractHandler before = contract_handler();
+  {
+    ScopedContractHandler scoped(&custom_handler);
+    try {
+      ACIC_CHECK(false, "routed to custom handler");
+      FAIL() << "expected CustomFailure";
+    } catch (const CustomFailure& f) {
+      EXPECT_NE(f.text.find("routed to custom handler"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(contract_handler(), before);
+  EXPECT_THROW(ACIC_CHECK(false), ContractError);  // default restored
+}
+
+TEST(ContractTest, SimulatorPastEventFailsFastWithContext) {
+  sim::Simulator s;
+  s.at(5.0, [] {});
+  s.run();
+  // The acceptance-criterion scenario: scheduling an event in the past
+  // must fail with a message naming the violated precondition and times.
+  try {
+    s.at(1.0, [] {});
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("event scheduled in the past"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("t=1"), std::string::npos) << what;
+    EXPECT_NE(what.find("now=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("simulator.cpp"), std::string::npos) << what;
+    EXPECT_EQ(e.violation().kind, ContractKind::kExpects);
+  }
+}
+
+TEST(ContractDeathTest, AbortHandlerDiesWithDiagnosticOnStderr) {
+  EXPECT_DEATH(
+      {
+        set_contract_handler(&abort_contract_handler);
+        sim::Simulator s;
+        s.at(5.0, [] {});
+        s.run();
+        s.at(1.0, [] {});
+      },
+      "event scheduled in the past");
+}
+
+}  // namespace
+}  // namespace acic

@@ -25,6 +25,44 @@ TEST(FlowNetwork, SingleFlowUsesFullCapacity) {
   EXPECT_NEAR(net.bytes_delivered(), 1000.0, 1e-6);
 }
 
+TEST(FlowNetwork, BytesAreConservedAcrossContendedTransfers) {
+  Simulator s;
+  FlowNetwork net(s);
+  Rng rng(99);
+  const auto a = net.add_resource("a", 80.0);
+  const auto b = net.add_resource("b", 120.0);
+  const auto c = net.add_resource("c", 50.0);
+  Bytes injected = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const Bytes bytes = 1.0 + rng.uniform() * 5000.0;
+    injected += bytes;
+    std::vector<ResourceId> path;
+    if (i % 3 == 0) path = {a, c};
+    else if (i % 3 == 1) path = {b};
+    else path = {a, b, c};
+    const SimTime when = rng.uniform() * 30.0;
+    s.at(when, [&net, path, bytes]() mutable {
+      net.start_flow(std::move(path), bytes, nullptr);
+    });
+  }
+  s.run();
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_DOUBLE_EQ(net.bytes_injected(), injected);
+  // Conservation: once everything completed, delivered == injected up to
+  // fp integration noise.
+  EXPECT_NEAR(net.bytes_delivered(), injected, 1e-6 * injected);
+}
+
+TEST(FlowNetwork, RejectsDegenerateFlows) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  EXPECT_THROW(net.start_flow({}, 10.0, nullptr), Error);
+  EXPECT_THROW(net.start_flow({link + 7}, 10.0, nullptr), Error);
+  EXPECT_THROW(net.start_flow({link}, -1.0, nullptr), Error);
+  EXPECT_THROW(net.set_capacity(link, -5.0), Error);
+}
+
 TEST(FlowNetwork, TwoFlowsShareEqually) {
   Simulator s;
   FlowNetwork net(s);

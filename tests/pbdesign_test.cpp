@@ -75,7 +75,9 @@ TEST(PbDesign, EffectsMatchHandComputation) {
   const auto eff = PbDesign::effects(m, response, 7);
   EXPECT_DOUBLE_EQ(eff[2], 8.0);
   for (int j = 0; j < 7; ++j) {
-    if (j != 2) EXPECT_DOUBLE_EQ(eff[size_t(j)], 0.0) << j;
+    if (j != 2) {
+      EXPECT_DOUBLE_EQ(eff[size_t(j)], 0.0) << j;
+    }
   }
 }
 

@@ -127,7 +127,8 @@ TEST(QueryServiceTest, UpdateDatabaseRetrains) {
       "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write");
   // Replace with a database where *nothing* improves.
   core::TrainingDatabase flat;
-  for (const auto& s : synthetic_db().samples()) {
+  const auto source = synthetic_db();  // keep alive across the loop
+  for (const auto& s : source.samples()) {
     auto copy = s;
     copy.time = copy.baseline_time;  // improvement exactly 1.0
     copy.cost = copy.baseline_cost;

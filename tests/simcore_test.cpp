@@ -49,6 +49,51 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator s;
+  int fired = 0;
+  const auto id = s.at(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // The id was issued, so the late cancel is accepted — and must not
+  // affect any event scheduled afterwards.
+  s.cancel(id);
+  s.at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelOfUnissuedIdIsRejected) {
+  Simulator s;
+  EXPECT_THROW(s.cancel(42), Error);
+  EXPECT_THROW(s.cancel(0), Error);
+}
+
+TEST(Simulator, CancelInsideFiringCallbackAtSameTimestamp) {
+  Simulator s;
+  bool b_fired = false, c_fired = false;
+  EventId b_id = 0;
+  // A fires first (FIFO at t=1) and cancels B, which shares its timestamp
+  // and is already sitting in the heap.
+  s.at(1.0, [&] { s.cancel(b_id); });
+  b_id = s.at(1.0, [&] { b_fired = true; });
+  s.at(1.0, [&] { c_fired = true; });
+  s.run();
+  EXPECT_FALSE(b_fired);
+  EXPECT_TRUE(c_fired);
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(Simulator, CancelInsideFiringCallbackForLaterEvent) {
+  Simulator s;
+  bool fired = false;
+  const auto id = s.at(5.0, [&] { fired = true; });
+  s.at(1.0, [&] { s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
 TEST(Simulator, NestedScheduling) {
   Simulator s;
   double inner_time = -1.0;
@@ -67,6 +112,43 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_DOUBLE_EQ(s.now(), 5.0);
   s.run();
   EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilDeadlineExactlyOnEventTimestamp) {
+  Simulator s;
+  std::vector<double> fired_at;
+  s.at(5.0, [&] { fired_at.push_back(s.now()); });
+  s.at(5.0, [&] { fired_at.push_back(s.now()); });
+  s.at(5.0 + 1e-9, [&] { fired_at.push_back(s.now()); });
+  // A deadline equal to an event timestamp is inclusive: both t=5 events
+  // fire, the one an epsilon later stays queued.
+  s.run_until(5.0);
+  EXPECT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_EQ(fired_at.size(), 3u);
+}
+
+TEST(Simulator, RunUntilRefusesToRewindTheClock) {
+  Simulator s;
+  s.at(1.0, [] {});
+  s.run_until(5.0);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_THROW(s.run_until(3.0), Error);
+  s.run_until(5.0);  // equal deadline is a legal no-op
+}
+
+TEST(Simulator, CancelInsideCallbackCancellingItselfIsHarmless) {
+  // An event cancelling its own (already-popped) id must not disturb
+  // later events: the stale id simply sits in the cancelled list.
+  Simulator s;
+  EventId self = 0;
+  bool later_fired = false;
+  self = s.at(1.0, [&] { s.cancel(self); });
+  s.at(2.0, [&] { later_fired = true; });
+  s.run();
+  EXPECT_TRUE(later_fired);
+  EXPECT_EQ(s.events_executed(), 2u);
 }
 
 TEST(Simulator, CountsExecutedEvents) {
