@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks for the acic::obs metrics layer: the
+// counter/histogram hot path that every served request crosses (so a
+// regression here is a regression in request latency), registry lookup
+// cost (why handles are hoisted out of hot loops), and snapshotting.
+#include <benchmark/benchmark.h>
+
+#include "acic/obs/metrics.hpp"
+
+namespace {
+
+using namespace acic;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_CounterAdd)->Threads(1)->Threads(4);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench.latency_us");
+  double v = 0.5;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v < 1e6 ? v * 1.7 : 0.5;  // sweep across buckets
+    benchmark::DoNotOptimize(&hist);
+  }
+}
+BENCHMARK(BM_HistogramObserve)->Threads(1)->Threads(4);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.counter("bench.lookup");
+  for (auto _ : state) {
+    auto& c = registry.counter("bench.lookup");
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_ScopedTimer(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench.timer_us");
+  for (auto _ : state) {
+    obs::Timer timer(hist);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_ScopedTimer);
+
+void BM_Snapshot(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.counter("bench.c" + std::to_string(i)).add(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    registry.histogram("bench.h" + std::to_string(i)).observe(i);
+  }
+  for (auto _ : state) {
+    auto snap = registry.snapshot();
+    benchmark::DoNotOptimize(snap.counters.size());
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

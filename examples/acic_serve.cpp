@@ -1,0 +1,118 @@
+// Concurrent ACIC query server — the production-shaped front end over
+// acic::service::QueryService.  Where example_acic_query_tool answers one
+// request at a time, this driver fans batches of protocol lines across a
+// thread pool (QueryService::serve), so it sustains many concurrent
+// clients piped through a socket relay or a batch file, and reports the
+// acic::obs request metrics (per-verb counts, latency histograms,
+// simulator/file-system totals) when the stream ends.
+//
+// Usage:
+//   example_acic_serve [training_db.csv] [--threads N] [--batch N]
+//                      [--demo] [--help]
+//
+// With a CSV argument the service answers from that shared database (e.g.
+// the artifact written by example_crowdsourced_training); without one it
+// bootstraps a fresh database on the simulated cloud.  Protocol lines are
+// read from stdin until EOF or "quit"; --demo runs a scripted concurrent
+// session instead.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "acic/core/ranking.hpp"
+#include "acic/obs/metrics.hpp"
+#include "acic/service/query_service.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: example_acic_serve [training_db.csv] [--threads N] "
+      "[--batch N] [--demo] [--help]\n"
+      "  Serves the line-oriented ACIC query protocol from stdin across a\n"
+      "  thread pool; 'help' on the stream lists the protocol verbs.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acic;
+
+  std::string db_path;
+  unsigned threads = 0;  // hardware concurrency
+  std::size_t batch = 64;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      db_path = arg;
+    }
+  }
+
+  std::fprintf(stderr, "[serve] PB screening...\n");
+  auto ranking = core::run_pb_ranking();
+
+  core::TrainingDatabase db;
+  if (!db_path.empty()) {
+    db = core::TrainingDatabase::load(db_path);
+    std::fprintf(stderr, "[serve] loaded %zu shared samples from %s\n",
+                 db.size(), db_path.c_str());
+  } else {
+    std::fprintf(stderr, "[serve] bootstrapping training database...\n");
+    core::TrainingPlan plan;
+    plan.dim_order = ranking.importance;
+    plan.top_dims = 12;
+    plan.max_samples = 300;
+    core::collect_training_data(db, plan);
+  }
+
+  std::fprintf(stderr, "[serve] training models...\n");
+  service::QueryService service(std::move(db), std::move(ranking));
+
+  if (demo) {
+    // A mixed burst of concurrent clients: the same requests a load
+    // balancer would fan in, answered as one parallel batch.
+    const std::vector<std::string> burst = {
+        "recommend objective=performance top_k=3 np=256 io_procs=256 "
+        "interface=MPI-IO iterations=40 data=4MiB request=4MiB op=write "
+        "collective=yes shared=yes",
+        "recommend objective=cost top_k=2 np=64 io_procs=64 "
+        "interface=POSIX iterations=1 data=1344MiB request=1MiB op=read "
+        "shared=no",
+        "predict config=pvfs.4.D.eph.4M np=64 io_procs=64 "
+        "interface=MPI-IO iterations=2 data=256MiB request=64MiB "
+        "op=read+write shared=yes",
+        "rank top=5",
+    };
+    std::vector<std::string> requests;
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      requests.insert(requests.end(), burst.begin(), burst.end());
+    }
+    const auto responses = service.handle_batch(requests, threads);
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      std::printf("> %s\n%s", requests[i].c_str(), responses[i].c_str());
+    }
+    std::printf("> stats\n%s", service.handle("stats").c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "[serve] ready — protocol lines on stdin.\n");
+  const std::size_t served = service.serve(std::cin, std::cout, threads,
+                                           batch);
+  std::fprintf(stderr, "[serve] served %zu requests; final metrics:\n%s",
+               served,
+               obs::MetricsRegistry::global().snapshot().to_text("  ").c_str());
+  return 0;
+}

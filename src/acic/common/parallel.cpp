@@ -22,11 +22,16 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
-    while (true) {
+    // Once any worker fails, the others drain promptly instead of
+    // grinding through the remaining items (a bad config early in a
+    // 10k-simulation sweep used to burn the whole sweep before the
+    // exception finally surfaced).
+    while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
@@ -34,6 +39,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
         return;
       }
     }

@@ -11,6 +11,7 @@
 #include "acic/common/parallel.hpp"
 #include "acic/common/rng.hpp"
 #include "acic/ior/ior.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace acic::core {
 
@@ -19,6 +20,20 @@ const char* to_string(Objective o) {
 }
 
 void TrainingDatabase::insert(TrainingSample sample) {
+  // Reject corrupt measurements at the door: a zero or negative time/cost
+  // (e.g. a mangled CSV row) would yield an inf/negative improvement
+  // label and silently poison every model trained from the database.
+  ACIC_CHECK_MSG(std::isfinite(sample.time) && sample.time > 0.0 &&
+                     std::isfinite(sample.cost) && sample.cost > 0.0,
+                 "training sample has non-positive measurement: time="
+                     << sample.time << " cost=" << sample.cost);
+  ACIC_CHECK_MSG(std::isfinite(sample.baseline_time) &&
+                     sample.baseline_time > 0.0 &&
+                     std::isfinite(sample.baseline_cost) &&
+                     sample.baseline_cost > 0.0,
+                 "training sample has non-positive baseline: baseline_time="
+                     << sample.baseline_time
+                     << " baseline_cost=" << sample.baseline_cost);
   sample.sequence = next_sequence_++;
   samples_.push_back(sample);
 }
@@ -72,17 +87,26 @@ TrainingDatabase TrainingDatabase::from_csv(const CsvTable& table) {
   ACIC_CHECK_MSG(table.header.size() ==
                      static_cast<std::size_t>(kNumDims) + 5,
                  "unexpected training CSV header arity");
+  std::size_t row_number = 0;
   for (const auto& row : table.rows) {
+    ++row_number;
     TrainingSample s;
-    for (int d = 0; d < kNumDims; ++d) {
-      s.point[static_cast<std::size_t>(d)] =
-          std::stod(row[static_cast<std::size_t>(d)]);
+    try {
+      for (int d = 0; d < kNumDims; ++d) {
+        s.point[static_cast<std::size_t>(d)] =
+            std::stod(row[static_cast<std::size_t>(d)]);
+      }
+      s.time = std::stod(row[kNumDims + 0]);
+      s.cost = std::stod(row[kNumDims + 1]);
+      s.baseline_time = std::stod(row[kNumDims + 2]);
+      s.baseline_cost = std::stod(row[kNumDims + 3]);
+    } catch (const std::logic_error&) {
+      // std::stod's bare "stod" message names neither the row nor the
+      // cell; rewrap so a corrupt shared database is diagnosable.
+      throw Error("training CSV row " + std::to_string(row_number) +
+                  " has a malformed numeric field");
     }
-    s.time = std::stod(row[kNumDims + 0]);
-    s.cost = std::stod(row[kNumDims + 1]);
-    s.baseline_time = std::stod(row[kNumDims + 2]);
-    s.baseline_cost = std::stod(row[kNumDims + 3]);
-    db.insert(s);
+    db.insert(s);  // rejects non-positive measurements (see above)
   }
   return db;
 }
@@ -249,6 +273,13 @@ TrainingStats collect_training_data(TrainingDatabase& db,
     s.baseline_cost = base.second;
     db.insert(s);
   }
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("training.sweeps").inc();
+  registry.counter("training.runs").add(static_cast<double>(stats.runs));
+  registry.counter("training.simulated_hours").add(stats.simulated_hours);
+  registry.counter("training.samples")
+      .add(static_cast<double>(collected.size()));
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "acic/common/check.hpp"
 #include "acic/common/csv.hpp"
 #include "acic/core/paramspace.hpp"
 #include "acic/ml/dataset.hpp"
@@ -30,8 +31,12 @@ struct TrainingSample {
   double baseline_cost = 0.0;
   std::uint64_t sequence = 0;  ///< insertion order (for data aging)
 
-  /// Relative improvement over baseline (higher is better).
+  /// Relative improvement over baseline (higher is better).  Division is
+  /// safe because TrainingDatabase::insert rejects non-positive
+  /// measurements — a zero-time sample (corrupt CSV row) would otherwise
+  /// turn into an inf label and poison CART training.
   double improvement(Objective o) const {
+    ACIC_DCHECK(time > 0.0 && cost > 0.0, "unvalidated training sample");
     return o == Objective::kPerformance ? baseline_time / time
                                         : baseline_cost / cost;
   }

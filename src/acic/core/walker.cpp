@@ -5,6 +5,7 @@
 #include <string>
 
 #include "acic/common/error.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace acic::core {
 
@@ -88,10 +89,14 @@ SpaceWalker::Result SpaceWalker::walk_converged(const Probe& probe,
 
   Result result;
   std::map<std::string, double> cache;
+  std::uint64_t cache_hits = 0;
   auto measure = [&](const cloud::IoConfig& cfg) {
     const std::string key = cfg.label();
     auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    if (it != cache.end()) {
+      ++cache_hits;
+      return it->second;
+    }
     const double v = probe(cfg);
     cache[key] = v;
     ++result.probes;
@@ -114,6 +119,11 @@ SpaceWalker::Result SpaceWalker::walk_converged(const Probe& probe,
 
   result.best = ParamSpace::config_of(current);
   result.best_measure = best;
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("walker.probes").add(static_cast<double>(result.probes));
+  registry.counter("walker.probe_cache_hits")
+      .add(static_cast<double>(cache_hits));
   return result;
 }
 

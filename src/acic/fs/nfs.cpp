@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "acic/common/units.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace acic::fs {
 
@@ -20,6 +21,15 @@ NfsModel::NfsModel(cloud::ClusterModel& cluster, FsTuning tuning)
                                      << " outside [0, 1]");
   cache_capacity_ =
       tuning_.nfs_cache_fraction * cluster_.spec().memory_gb * GiB;
+}
+
+NfsModel::~NfsModel() {
+  if (cache_hits_ + cache_misses_ == 0) return;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("fs.NFS.cache_hits")
+      .add(static_cast<double>(cache_hits_));
+  registry.counter("fs.NFS.cache_misses")
+      .add(static_cast<double>(cache_misses_));
 }
 
 void NfsModel::drain_to_now() const {
@@ -52,6 +62,11 @@ sim::Task NfsModel::request(int rank, Bytes bytes, bool is_write,
   drain_to_now();
   const bool absorbed =
       is_write && (dirty_ + bytes <= cache_capacity_);
+  if (is_write) {
+    // The simulation is single-threaded per Simulator, so plain counters
+    // suffice; the destructor rolls them into the global registry once.
+    ++(absorbed ? cache_hits_ : cache_misses_);
+  }
   if (absorbed) {
     // Reserve the cache space at admission time, before any co_await: other
     // requests interleave during the transfer below, and admitting them

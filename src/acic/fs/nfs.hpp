@@ -21,6 +21,9 @@ namespace acic::fs {
 class NfsModel final : public FileSystem {
  public:
   NfsModel(cloud::ClusterModel& cluster, FsTuning tuning);
+  /// Flushes this run's write-back cache hit/miss totals into the
+  /// process-wide metrics registry (`fs.NFS.cache_hits` / `.cache_misses`).
+  ~NfsModel() override;
 
   sim::Task request(int rank, Bytes bytes, bool is_write, bool shared_file,
                     double op_weight) override;
@@ -41,6 +44,8 @@ class NfsModel final : public FileSystem {
   Bytes cache_capacity_ = 0.0;
   mutable Bytes dirty_ = 0.0;
   mutable SimTime last_drain_ = 0.0;
+  std::uint64_t cache_hits_ = 0;    ///< writes absorbed by the cache
+  std::uint64_t cache_misses_ = 0;  ///< writes that touched the device
 };
 
 }  // namespace acic::fs

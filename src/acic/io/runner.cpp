@@ -5,6 +5,7 @@
 #include "acic/common/error.hpp"
 #include "acic/io/middleware.hpp"
 #include "acic/mpi/runtime.hpp"
+#include "acic/obs/metrics.hpp"
 #include "acic/simcore/simulator.hpp"
 
 namespace acic::io {
@@ -56,6 +57,20 @@ RunResult run_workload(const Workload& workload,
   result.num_instances = cluster.num_instances();
   result.fs_bytes = filesystem->bytes_moved();
   result.sim_events = simulator.events_executed();
+
+  // Per-run observability roll-up: one registry touch per simulation (the
+  // per-event/per-request hot paths stay uninstrumented on purpose).
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string fs_prefix = std::string("fs.") + filesystem->name();
+  registry.counter(fs_prefix + ".bytes_moved").add(result.fs_bytes);
+  registry.counter(fs_prefix + ".requests")
+      .add(static_cast<double>(result.fs_requests));
+  registry.counter("io.runs").inc();
+  registry.counter("io.sim_events")
+      .add(static_cast<double>(result.sim_events));
+  registry
+      .histogram("io.run_seconds", obs::duration_buckets_s())
+      .observe(result.total_time);
   return result;
 }
 

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <istream>
+#include <limits>
 #include <map>
+#include <ostream>
 #include <sstream>
 
 #include "acic/common/error.hpp"
+#include "acic/common/parallel.hpp"
 
 namespace acic::service {
 
@@ -53,12 +58,31 @@ std::string verb_of(const std::string& line) {
   return verb;
 }
 
+/// parse_count, bounded to int for the workload fields.
+int parse_int_field(const std::string& key, const std::string& text) {
+  const std::size_t v = parse_count(key, text);
+  if (v > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw Error(key + "='" + text + "' is out of range");
+  }
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 Bytes parse_size(const std::string& text) {
   ACIC_CHECK_MSG(!text.empty(), "empty size literal");
   std::size_t pos = 0;
-  const double value = std::stod(text, &pos);
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    // std::stod's "stod" message is useless to a protocol client; name
+    // the offending input instead.
+    throw Error("malformed size literal '" + text + "'");
+  }
+  if (!std::isfinite(value) || value <= 0.0) {
+    throw Error("size literal '" + text + "' must be positive and finite");
+  }
   std::string unit = text.substr(pos);
   std::transform(unit.begin(), unit.end(), unit.begin(),
                  [](unsigned char c) { return std::tolower(c); });
@@ -70,6 +94,21 @@ Bytes parse_size(const std::string& text) {
   throw Error("unknown size unit '" + unit + "'");
 }
 
+std::size_t parse_count(const std::string& key, const std::string& text) {
+  const bool all_digits =
+      !text.empty() &&
+      std::all_of(text.begin(), text.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; });
+  if (!all_digits) {
+    throw Error(key + " must be a non-negative integer, got '" + text + "'");
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(text));
+  } catch (const std::exception&) {
+    throw Error(key + "='" + text + "' is out of range");
+  }
+}
+
 io::Workload parse_workload_query(const std::string& line) {
   const auto kv = parse_pairs(line);
   io::Workload w;
@@ -77,13 +116,13 @@ io::Workload parse_workload_query(const std::string& line) {
   for (const auto& [key, value] : kv) {
     if (key == "objective" || key == "top_k" || key == "config") continue;
     if (key == "np") {
-      w.num_processes = std::stoi(value);
+      w.num_processes = parse_int_field(key, value);
     } else if (key == "io_procs") {
-      w.num_io_processes = std::stoi(value);
+      w.num_io_processes = parse_int_field(key, value);
     } else if (key == "interface") {
       w.interface = io::interface_from_string(value);
     } else if (key == "iterations") {
-      w.iterations = std::stoi(value);
+      w.iterations = parse_int_field(key, value);
     } else if (key == "data") {
       w.data_size = parse_size(value);
     } else if (key == "request") {
@@ -103,38 +142,126 @@ io::Workload parse_workload_query(const std::string& line) {
   return w;
 }
 
-QueryService::QueryService(core::TrainingDatabase database,
-                           core::PbRankingResult ranking)
-    : database_(std::move(database)), ranking_(std::move(ranking)) {}
+QueryService::Engine::Engine(core::TrainingDatabase db,
+                             core::PbRankingResult rank)
+    : database(std::move(db)),
+      ranking(std::move(rank)),
+      perf_model(database, core::Objective::kPerformance),
+      cost_model(database, core::Objective::kCost) {}
 
-void QueryService::update_database(core::TrainingDatabase database) {
-  database_ = std::move(database);
-  perf_model_.reset();
-  cost_model_.reset();
+QueryService::QueryService(core::TrainingDatabase database,
+                           core::PbRankingResult ranking) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto verb_metrics = [&registry](const char* verb) {
+    VerbMetrics m;
+    m.requests = &registry.counter(std::string("service.requests.") + verb);
+    m.latency_us =
+        &registry.histogram(std::string("service.latency_us.") + verb);
+    return m;
+  };
+  recommend_metrics_ = verb_metrics("recommend");
+  predict_metrics_ = verb_metrics("predict");
+  rank_metrics_ = verb_metrics("rank");
+  stats_metrics_ = verb_metrics("stats");
+  other_metrics_ = verb_metrics("other");
+  errors_ = &registry.counter("service.errors");
+
+  obs::Timer train_timer(registry.histogram("service.train_latency_us"));
+  registry.counter("service.engine_builds").inc();
+  publish(std::make_shared<const Engine>(std::move(database),
+                                         std::move(ranking)));
 }
 
-const core::Acic& QueryService::model_for(core::Objective objective) {
-  auto& slot = objective == core::Objective::kPerformance ? perf_model_
-                                                          : cost_model_;
-  if (!slot) slot = std::make_unique<core::Acic>(database_, objective);
-  return *slot;
+void QueryService::update_database(core::TrainingDatabase database) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Timer train_timer(registry.histogram("service.train_latency_us"));
+  registry.counter("service.engine_builds").inc();
+  // Train the replacement engine *before* publishing it: readers keep
+  // answering from the old snapshot during the (expensive) build, then
+  // pick up the new one on their next request.
+  const EngineRef current = engine();
+  publish(std::make_shared<const Engine>(std::move(database),
+                                         current->ranking));
+}
+
+std::size_t QueryService::database_size() const {
+  return engine()->database.size();
+}
+
+const QueryService::VerbMetrics& QueryService::metrics_for(
+    const std::string& verb) const {
+  if (verb == "recommend") return recommend_metrics_;
+  if (verb == "predict") return predict_metrics_;
+  if (verb == "rank") return rank_metrics_;
+  if (verb == "stats") return stats_metrics_;
+  return other_metrics_;
 }
 
 std::string QueryService::handle(const std::string& request_line) {
+  const std::string verb = verb_of(request_line);
+  const VerbMetrics& vm = metrics_for(verb);
+  vm.requests->inc();
+  obs::Timer timer(*vm.latency_us);
   try {
-    const std::string verb = verb_of(request_line);
-    if (verb == "recommend") return handle_recommend(request_line);
-    if (verb == "predict") return handle_predict(request_line);
-    if (verb == "rank") return handle_rank(request_line);
-    if (verb == "stats") return handle_stats();
+    // Pin one immutable snapshot for the whole request; a concurrent
+    // update_database() cannot pull the models out from under us.
+    const EngineRef e = engine();
+    if (verb == "recommend") return handle_recommend(*e, request_line);
+    if (verb == "predict") return handle_predict(*e, request_line);
+    if (verb == "rank") return handle_rank(*e, request_line);
+    if (verb == "stats") return handle_stats(*e);
     if (verb == "help" || verb.empty()) return help_text();
+    errors_->inc();
     return "error unknown verb '" + verb + "' (try: help)\n";
   } catch (const std::exception& e) {
+    errors_->inc();
     return std::string("error ") + e.what() + "\n";
   }
 }
 
-std::string QueryService::handle_recommend(const std::string& line) {
+std::vector<std::string> QueryService::handle_batch(
+    const std::vector<std::string>& request_lines, unsigned threads) {
+  std::vector<std::string> responses(request_lines.size());
+  parallel_for(
+      request_lines.size(),
+      [&](std::size_t i) { responses[i] = handle(request_lines[i]); },
+      threads);
+  return responses;
+}
+
+std::size_t QueryService::serve(std::istream& in, std::ostream& out,
+                                unsigned threads, std::size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  std::size_t served = 0;
+  std::vector<std::string> batch;
+  std::string line;
+  bool stop = false;
+  while (!stop) {
+    batch.clear();
+    while (batch.size() < batch_size) {
+      if (!std::getline(in, line)) {
+        stop = true;
+        break;
+      }
+      if (line == "quit" || line == "exit") {
+        stop = true;
+        break;
+      }
+      if (line.empty()) continue;
+      batch.push_back(line);
+    }
+    if (batch.empty()) continue;
+    for (const auto& response : handle_batch(batch, threads)) {
+      out << response;
+    }
+    out.flush();
+    served += batch.size();
+  }
+  return served;
+}
+
+std::string QueryService::handle_recommend(const Engine& engine,
+                                           const std::string& line) {
   const auto kv = parse_pairs(line);
   const auto obj_it = kv.find("objective");
   const core::Objective objective =
@@ -142,10 +269,10 @@ std::string QueryService::handle_recommend(const std::string& line) {
                          : parse_objective(obj_it->second);
   const auto k_it = kv.find("top_k");
   const std::size_t top_k =
-      k_it == kv.end() ? 3 : std::stoul(k_it->second);
+      k_it == kv.end() ? 3 : parse_count("top_k", k_it->second);
   const auto traits = parse_workload_query(line);
 
-  const auto recs = model_for(objective).recommend(traits, top_k);
+  const auto recs = engine.model_for(objective).recommend(traits, top_k);
   std::ostringstream os;
   os << "ok " << recs.size() << " recommendations (objective="
      << core::to_string(objective) << ")\n";
@@ -156,7 +283,8 @@ std::string QueryService::handle_recommend(const std::string& line) {
   return os.str();
 }
 
-std::string QueryService::handle_predict(const std::string& line) {
+std::string QueryService::handle_predict(const Engine& engine,
+                                         const std::string& line) {
   const auto kv = parse_pairs(line);
   const auto cfg_it = kv.find("config");
   ACIC_CHECK_MSG(cfg_it != kv.end(), "predict needs config=<label>");
@@ -166,7 +294,8 @@ std::string QueryService::handle_predict(const std::string& line) {
       obj_it == kv.end() ? core::Objective::kPerformance
                          : parse_objective(obj_it->second);
   const auto traits = parse_workload_query(line);
-  const double improvement = model_for(objective).predict(config, traits);
+  const double improvement =
+      engine.model_for(objective).predict(config, traits);
   std::ostringstream os;
   os << "ok predicted_improvement=" << improvement << " config="
      << config.label() << " objective=" << core::to_string(objective)
@@ -174,28 +303,30 @@ std::string QueryService::handle_predict(const std::string& line) {
   return os.str();
 }
 
-std::string QueryService::handle_rank(const std::string& line) {
+std::string QueryService::handle_rank(const Engine& engine,
+                                      const std::string& line) {
   const auto kv = parse_pairs(line);
   const auto top_it = kv.find("top");
   std::size_t top = top_it == kv.end()
-                        ? ranking_.importance.size()
-                        : std::stoul(top_it->second);
-  top = std::min(top, ranking_.importance.size());
+                        ? engine.ranking.importance.size()
+                        : parse_count("top", top_it->second);
+  top = std::min(top, engine.ranking.importance.size());
   std::ostringstream os;
   os << "ok " << top << " dimensions by PB importance\n";
   for (std::size_t i = 0; i < top; ++i) {
-    const auto dim = static_cast<core::Dim>(ranking_.importance[i]);
+    const auto dim = static_cast<core::Dim>(engine.ranking.importance[i]);
     os << "  " << (i + 1) << ". "
        << core::ParamSpace::dimension(dim).name << "\n";
   }
   return os.str();
 }
 
-std::string QueryService::handle_stats() const {
+std::string QueryService::handle_stats(const Engine& engine) {
   std::ostringstream os;
-  os << "ok database=" << database_.size() << " samples, "
+  os << "ok database=" << engine.database.size() << " samples, "
      << cloud::IoConfig::enumerate_candidates().size()
      << " candidate configs\n";
+  os << obs::MetricsRegistry::global().snapshot().to_text("  ");
   return os.str();
 }
 

@@ -10,23 +10,48 @@
 //             op=write collective=yes shared=yes
 //   predict   config=pvfs.4.D.eph <same workload keys>
 //   rank      [top=N]                     — PB dimension ranking
-//   stats                                 — database summary
+//   stats                                 — database + request metrics
 //   help
 //
 // Responses are "ok ..." / "error ..." lines followed by indented detail
 // rows, so they stay greppable and machine-parseable.
+//
+// Concurrency model: the service state is an immutable `Engine` snapshot
+// (training database + ranking + both trained models) behind an
+// atomically swapped shared_ptr.  `handle()` pins the current snapshot
+// for the duration of one request; `update_database()` trains a *new*
+// engine off to the side and swaps the pointer (copy-on-write) — the
+// micro-mutex guards only the shared_ptr copy (a refcount bump, never
+// training or prediction), so readers never wait on a writer's work and
+// in-flight requests keep answering from the snapshot they started with.
+// Both models are trained eagerly when an engine is built, so the hot
+// path never trains.  Every request is counted and timed into the
+// process-wide `acic::obs` registry under `service.requests.<verb>` /
+// `service.latency_us.<verb>`.
 #pragma once
 
+#include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "acic/core/predictor.hpp"
 #include "acic/core/ranking.hpp"
 #include "acic/core/training.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace acic::service {
 
 /// Parse a size literal: "4MiB", "256KiB", "1.5GiB", "2048" (bytes).
+/// The value must be a positive, finite number; anything else (including
+/// "-4MiB", "nan", or a bare unit) throws acic::Error naming the input.
 Bytes parse_size(const std::string& text);
+
+/// Parse a non-negative integer protocol field (top_k=…, np=…).  Signs,
+/// non-digit characters, and out-of-range values throw acic::Error with
+/// the offending key and text (std::stoul would happily wrap "-1").
+std::size_t parse_count(const std::string& key, const std::string& text);
 
 /// Parse one protocol line into a workload description.  Unknown keys
 /// throw; missing keys keep the defaults below.
@@ -34,34 +59,93 @@ io::Workload parse_workload_query(const std::string& line);
 
 class QueryService {
  public:
-  /// The service owns its models; it trains one per objective lazily
-  /// from the shared database snapshot.
+  /// Builds the first engine snapshot: trains one model per objective
+  /// eagerly so concurrent `handle()` calls never observe a half-trained
+  /// model.
   QueryService(core::TrainingDatabase database,
                core::PbRankingResult ranking);
 
   /// Handle one protocol line; never throws — malformed input yields an
-  /// "error ..." response.
+  /// "error ..." response.  Safe to call from any number of threads
+  /// concurrently, including while `update_database()` swaps snapshots.
   std::string handle(const std::string& request_line);
 
-  /// Refresh the database snapshot (a crowdsourced contribution batch)
-  /// and invalidate trained models.
+  /// Handle a batch of independent requests, fanning across
+  /// `parallel_for` (0 threads = hardware concurrency).  Response i
+  /// answers request i.
+  std::vector<std::string> handle_batch(
+      const std::vector<std::string>& request_lines, unsigned threads = 0);
+
+  /// Drive the service from a stream: reads request lines until EOF or a
+  /// "quit"/"exit" line, answers them in batches of `batch_size` across
+  /// `threads` workers, and writes responses to `out` in request order.
+  /// Returns the number of requests served.
+  std::size_t serve(std::istream& in, std::ostream& out,
+                    unsigned threads = 0, std::size_t batch_size = 64);
+
+  /// Refresh the database snapshot (a crowdsourced contribution batch):
+  /// trains a replacement engine and atomically publishes it.  In-flight
+  /// requests finish on the old snapshot; it is freed when the last one
+  /// drops its reference.
   void update_database(core::TrainingDatabase database);
 
-  std::size_t database_size() const { return database_.size(); }
+  std::size_t database_size() const;
 
  private:
-  std::string handle_recommend(const std::string& line);
-  std::string handle_predict(const std::string& line);
-  std::string handle_rank(const std::string& line);
-  std::string handle_stats() const;
+  /// Immutable service state; shared read-only by concurrent requests.
+  struct Engine {
+    Engine(core::TrainingDatabase db, core::PbRankingResult rank);
+
+    core::TrainingDatabase database;
+    core::PbRankingResult ranking;
+    core::Acic perf_model;
+    core::Acic cost_model;
+
+    const core::Acic& model_for(core::Objective objective) const {
+      return objective == core::Objective::kPerformance ? perf_model
+                                                        : cost_model;
+    }
+  };
+  using EngineRef = std::shared_ptr<const Engine>;
+
+  // A plain mutex around the shared_ptr copy instead of
+  // std::atomic<shared_ptr>: the critical sections are two instructions
+  // wide, and libstdc++'s lock-bit _Sp_atomic confuses TSan (the tsan CI
+  // preset is how this file's guarantees are enforced).
+  EngineRef engine() const {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return engine_;
+  }
+  void publish(EngineRef next) {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    engine_ = std::move(next);
+  }
+
+  static std::string handle_recommend(const Engine& engine,
+                                      const std::string& line);
+  static std::string handle_predict(const Engine& engine,
+                                    const std::string& line);
+  static std::string handle_rank(const Engine& engine,
+                                 const std::string& line);
+  static std::string handle_stats(const Engine& engine);
   static std::string help_text();
 
-  const core::Acic& model_for(core::Objective objective);
+  /// Per-verb instruments, resolved once at construction so the request
+  /// path never takes the registry lock.
+  struct VerbMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  const VerbMetrics& metrics_for(const std::string& verb) const;
 
-  core::TrainingDatabase database_;
-  core::PbRankingResult ranking_;
-  std::unique_ptr<core::Acic> perf_model_;
-  std::unique_ptr<core::Acic> cost_model_;
+  mutable std::mutex engine_mutex_;
+  EngineRef engine_;
+  VerbMetrics recommend_metrics_;
+  VerbMetrics predict_metrics_;
+  VerbMetrics rank_metrics_;
+  VerbMetrics stats_metrics_;
+  VerbMetrics other_metrics_;
+  obs::Counter* errors_ = nullptr;
 };
 
 }  // namespace acic::service

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "acic/common/error.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace acic::sim {
+
+Simulator::~Simulator() {
+  if (executed_ == 0) return;
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("sim.simulations").inc();
+  registry.counter("sim.events").add(static_cast<double>(executed_));
+  registry.counter("sim.simulated_seconds").add(now_);
+}
 
 EventId Simulator::at(SimTime t, std::function<void()> fn) {
   ACIC_EXPECTS(t >= now_, "event scheduled in the past: t=" << t

@@ -26,6 +26,10 @@ using EventId = std::uint64_t;
 class Simulator {
  public:
   Simulator() = default;
+  /// Rolls this simulator's lifetime totals (events executed, simulated
+  /// seconds) into the process-wide `acic::obs` registry — one registry
+  /// touch per simulation, so the per-event hot path stays metric-free.
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

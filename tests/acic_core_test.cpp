@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "acic/apps/apps.hpp"
@@ -93,6 +94,62 @@ TEST_F(AcicCoreFixture, DatabaseCsvRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded.samples()[0].time, db_->samples()[0].time);
   EXPECT_EQ(loaded.samples()[0].point, db_->samples()[0].point);
   std::filesystem::remove(path);
+}
+
+// Regression: a zero-time sample (corrupt CSV row) used to slip into the
+// database and turn into an inf improvement label that poisoned CART
+// training.  Non-positive or non-finite measurements are now rejected at
+// the insert boundary.
+TEST(TrainingDatabaseGuard, RejectsNonPositiveMeasurements) {
+  TrainingDatabase db;
+  TrainingSample good;
+  good.point = default_point();
+  good.time = 50.0;
+  good.cost = 5.0;
+  good.baseline_time = 100.0;
+  good.baseline_cost = 10.0;
+  EXPECT_NO_THROW(db.insert(good));
+
+  for (auto mutate : {+[](TrainingSample& s) { s.time = 0.0; },
+                      +[](TrainingSample& s) { s.time = -3.0; },
+                      +[](TrainingSample& s) { s.cost = 0.0; },
+                      +[](TrainingSample& s) { s.baseline_time = 0.0; },
+                      +[](TrainingSample& s) { s.baseline_cost = -1.0; },
+                      +[](TrainingSample& s) {
+                        s.time = std::numeric_limits<double>::infinity();
+                      }}) {
+    TrainingSample bad = good;
+    mutate(bad);
+    EXPECT_THROW(db.insert(bad), Error);
+  }
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(TrainingDatabaseGuard, FromCsvRejectsCorruptRows) {
+  TrainingDatabase db;
+  TrainingSample s;
+  s.point = default_point();
+  s.time = 50.0;
+  s.cost = 5.0;
+  s.baseline_time = 100.0;
+  s.baseline_cost = 10.0;
+  db.insert(s);
+  auto table = db.to_csv();
+
+  auto zero_time = table;
+  zero_time.rows[0][static_cast<std::size_t>(kNumDims)] = "0";
+  EXPECT_THROW(TrainingDatabase::from_csv(zero_time), Error);
+
+  auto mangled = table;
+  mangled.rows[0][static_cast<std::size_t>(kNumDims)] = "not-a-number";
+  try {
+    TrainingDatabase::from_csv(mangled);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The old bare std::stod escaped with a useless "stod" message.
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(AcicCoreFixture, AgingDropsOldestSamples) {

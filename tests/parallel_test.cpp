@@ -44,6 +44,27 @@ TEST(ParallelFor, PropagatesFirstException) {
       Error);
 }
 
+// Regression: after one worker threw, the remaining workers used to grind
+// through every remaining item before the exception surfaced — a bad
+// config early in a 10k-simulation sweep burned the whole sweep.  With
+// the failure flag the pool drains promptly.
+TEST(ParallelFor, DrainsPromptlyAfterWorkerThrows) {
+  const std::size_t n = 200000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          n,
+          [&](std::size_t i) {
+            if (i == 0) throw Error("poison item");
+            executed.fetch_add(1, std::memory_order_relaxed);
+          },
+          4),
+      Error);
+  // Exact drain point depends on scheduling, but it must be nowhere near
+  // the full sweep (the old behaviour executed all n-1 surviving items).
+  EXPECT_LT(executed.load(), n / 2);
+}
+
 TEST(ParallelFor, SerialFallbackPreservesOrder) {
   std::vector<std::size_t> order;
   parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);

@@ -1,8 +1,15 @@
 // Tests for the query service: protocol parsing, responses, error
-// handling, and database refresh.
+// handling, database refresh, concurrent serving against copy-on-write
+// engine snapshots, and the request metrics it reports.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
 #include "acic/common/error.hpp"
+#include "acic/obs/metrics.hpp"
 #include "acic/service/query_service.hpp"
 
 namespace acic::service {
@@ -60,6 +67,60 @@ TEST(ParseSize, AcceptsCommonUnits) {
   EXPECT_DOUBLE_EQ(parse_size("2gb"), 2.0 * GiB);
   EXPECT_THROW(parse_size("10parsecs"), Error);
   EXPECT_THROW(parse_size(""), Error);
+}
+
+// Regression: "-4MiB" used to flow a negative Bytes into workloads, and a
+// bare unit ("MiB") escaped as an unhelpful std::stod "stod" exception.
+TEST(ParseSize, RejectsNonPositiveAndNonFiniteValues) {
+  EXPECT_THROW(parse_size("-4MiB"), Error);
+  EXPECT_THROW(parse_size("-1"), Error);
+  EXPECT_THROW(parse_size("0"), Error);
+  EXPECT_THROW(parse_size("0MiB"), Error);
+  EXPECT_THROW(parse_size("nan"), Error);
+  EXPECT_THROW(parse_size("inf"), Error);
+  EXPECT_THROW(parse_size("1e999"), Error);  // stod out_of_range
+}
+
+TEST(ParseSize, ErrorsNameTheOffendingText) {
+  try {
+    parse_size("MiB");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("MiB"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_size("-4MiB");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-4MiB"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseCount, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(parse_count("top_k", "0"), 0u);
+  EXPECT_EQ(parse_count("top_k", "12"), 12u);
+  EXPECT_EQ(parse_count("np", "4096"), 4096u);
+}
+
+// Regression: raw std::stoul wrapped "top_k=-1" to a huge count and
+// surfaced "top_k=abc" as "error stoul".
+TEST(ParseCount, RejectsSignsGarbageAndOverflow) {
+  EXPECT_THROW(parse_count("top_k", "-1"), Error);
+  EXPECT_THROW(parse_count("top_k", "abc"), Error);
+  EXPECT_THROW(parse_count("top_k", "1.5"), Error);
+  EXPECT_THROW(parse_count("top_k", "+3"), Error);
+  EXPECT_THROW(parse_count("top_k", ""), Error);
+  EXPECT_THROW(parse_count("top_k", "99999999999999999999999999"), Error);
+  try {
+    parse_count("top_k", "abc");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("top_k"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
 }
 
 TEST(ParseWorkload, FillsFieldsAndValidates) {
@@ -140,6 +201,157 @@ TEST(QueryServiceTest, UpdateDatabaseRetrains) {
   const double v = std::stod(after.substr(after.find('=') + 1));
   EXPECT_NEAR(v, 1.0, 1e-9);
   EXPECT_NE(before, after);
+}
+
+TEST(QueryServiceTest, ReportsErrorsOnBadCounts) {
+  auto svc = make_service();
+  const auto bad_k = svc.handle(
+      "recommend top_k=abc np=64 data=4MiB op=write");
+  EXPECT_EQ(bad_k.rfind("error", 0), 0u) << bad_k;
+  EXPECT_NE(bad_k.find("top_k"), std::string::npos) << bad_k;
+  const auto negative = svc.handle("rank top=-1");
+  EXPECT_EQ(negative.rfind("error", 0), 0u) << negative;
+  EXPECT_NE(negative.find("top"), std::string::npos) << negative;
+  const auto bad_np = svc.handle("predict config=pvfs.4.D.eph.4M np=-8");
+  EXPECT_EQ(bad_np.rfind("error", 0), 0u) << bad_np;
+}
+
+TEST(QueryServiceTest, HandleBatchAnswersInRequestOrder) {
+  auto svc = make_service();
+  const std::vector<std::string> requests = {
+      "rank top=1",
+      "rank top=2",
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write",
+      "rank top=3",
+  };
+  const auto responses = svc.handle_batch(requests, 4);
+  ASSERT_EQ(responses.size(), requests.size());
+  EXPECT_EQ(responses[0].rfind("ok 1 dimensions", 0), 0u) << responses[0];
+  EXPECT_EQ(responses[1].rfind("ok 2 dimensions", 0), 0u) << responses[1];
+  EXPECT_EQ(responses[2].rfind("ok predicted_improvement=", 0), 0u)
+      << responses[2];
+  EXPECT_EQ(responses[3].rfind("ok 3 dimensions", 0), 0u) << responses[3];
+}
+
+TEST(QueryServiceTest, ServeDrivesStreamsAndStopsOnQuit) {
+  auto svc = make_service();
+  std::istringstream in(
+      "rank top=1\n"
+      "\n"
+      "rank top=2\n"
+      "quit\n"
+      "rank top=3\n");
+  std::ostringstream out;
+  const std::size_t served = svc.serve(in, out, 2, 2);
+  EXPECT_EQ(served, 2u);
+  const auto text = out.str();
+  EXPECT_NE(text.find("ok 1 dimensions"), std::string::npos) << text;
+  EXPECT_NE(text.find("ok 2 dimensions"), std::string::npos) << text;
+  EXPECT_EQ(text.find("ok 3 dimensions"), std::string::npos) << text;
+}
+
+TEST(QueryServiceTest, StatsReportsPerVerbMetrics) {
+  auto svc = make_service();
+  const std::vector<std::string> mixed = {
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write",
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write",
+      "rank top=2",
+      "recommend objective=cost top_k=1 np=64 data=4MiB op=read",
+  };
+  svc.handle_batch(mixed, 2);
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  for (const char* verb : {"recommend", "predict", "rank"}) {
+    const auto* count =
+        snap.counter(std::string("service.requests.") + verb);
+    ASSERT_NE(count, nullptr) << verb;
+    EXPECT_GT(*count, 0.0) << verb;
+    const auto* latency =
+        snap.histogram(std::string("service.latency_us.") + verb);
+    ASSERT_NE(latency, nullptr) << verb;
+    EXPECT_GT(latency->count, 0u) << verb;
+    EXPECT_GT(latency->sum, 0.0) << verb;
+  }
+
+  const auto stats = svc.handle("stats");
+  EXPECT_EQ(stats.rfind("ok database=", 0), 0u) << stats;
+  EXPECT_NE(stats.find("service.requests.recommend"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("service.latency_us.recommend count="),
+            std::string::npos)
+      << stats;
+}
+
+// The tentpole regression: N reader threads hammer handle() with mixed
+// verbs while a writer repeatedly swaps the database snapshot.  Under the
+// old lazy unique_ptr model this raced (update_database reset models that
+// concurrent predicts were using); with copy-on-write engine snapshots
+// every request must answer cleanly.  Run under the tsan preset in CI.
+TEST(QueryServiceConcurrency, HandleRacesUpdateDatabaseCleanly) {
+  auto svc = make_service();
+  constexpr int kReaders = 8;
+  constexpr int kRequestsPerReader = 24;
+  constexpr int kSwaps = 6;
+
+  const std::vector<std::string> requests = {
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write",
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write",
+      "rank top=3",
+      "stats",
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kRequestsPerReader; ++i) {
+        const auto& req = requests[(t + i) % requests.size()];
+        const auto resp = svc.handle(req);
+        if (resp.rfind("ok", 0) != 0) failures.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    go.store(true);
+    for (int s = 0; s < kSwaps; ++s) {
+      svc.update_database(synthetic_db());
+    }
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(svc.database_size(), synthetic_db().size());
+  // The hammering must be visible in the request metrics.
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* recommends = snap.counter("service.requests.recommend");
+  ASSERT_NE(recommends, nullptr);
+  EXPECT_GE(*recommends, double(kReaders * kRequestsPerReader) /
+                             double(requests.size()));
+}
+
+TEST(QueryServiceConcurrency, BatchesRaceSwapsCleanly) {
+  auto svc = make_service();
+  std::vector<std::string> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(i % 2 == 0
+                        ? "predict config=pvfs.4.D.eph.4M np=64 "
+                          "data=128MiB op=write"
+                        : "rank top=2");
+  }
+  std::thread writer([&] {
+    for (int s = 0; s < 4; ++s) svc.update_database(synthetic_db());
+  });
+  const auto responses = svc.handle_batch(batch, 8);
+  writer.join();
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.rfind("ok", 0), 0u) << r;
+  }
 }
 
 }  // namespace
