@@ -8,7 +8,13 @@
 //
 // Usage:
 //   example_acic_serve [training_db.csv] [--threads N] [--batch N]
+//                      [--max-inflight N] [--deadline-us X]
 //                      [--demo] [--help]
+//
+// --max-inflight bounds admission: requests beyond N concurrently running
+// ones get a typed "shed ..." response instead of queuing.  --deadline-us
+// arms the per-request compute deadline ("timeout ..." responses).  Both
+// default off (legacy unbounded behaviour).
 //
 // With a CSV argument the service answers from that shared database (e.g.
 // the artifact written by example_crowdsourced_training); without one it
@@ -31,9 +37,13 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: example_acic_serve [training_db.csv] [--threads N] "
-      "[--batch N] [--demo] [--help]\n"
+      "[--batch N]\n"
+      "                          [--max-inflight N] [--deadline-us X] "
+      "[--demo] [--help]\n"
       "  Serves the line-oriented ACIC query protocol from stdin across a\n"
-      "  thread pool; 'help' on the stream lists the protocol verbs.\n");
+      "  thread pool; 'help' on the stream lists the protocol verbs.\n"
+      "  --max-inflight N  shed requests beyond N in flight (0 = off)\n"
+      "  --deadline-us X   per-request compute deadline, us (0 = off)\n");
 }
 
 }  // namespace
@@ -45,6 +55,7 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // hardware concurrency
   std::size_t batch = 64;
   bool demo = false;
+  service::ServiceOptions service_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -56,6 +67,11 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--batch" && i + 1 < argc) {
       batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      service_options.max_in_flight =
+          static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--deadline-us" && i + 1 < argc) {
+      service_options.deadline_us = std::atof(argv[++i]);
     } else {
       db_path = arg;
     }
@@ -79,7 +95,8 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "[serve] training models...\n");
-  service::QueryService service(std::move(db), std::move(ranking));
+  service::QueryService service(std::move(db), std::move(ranking),
+                                service_options);
 
   if (demo) {
     // A mixed burst of concurrent clients: the same requests a load

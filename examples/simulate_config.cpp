@@ -11,6 +11,17 @@
 //   options:
 //     --detailed-pricing   include EBS volume-hour + per-I/O charges
 //     --failures=R         transient outages per hour (default 0)
+//     --brownouts=R        brownouts per hour (default 0)
+//     --brownout-fraction=F  remaining capacity during a brownout (0.2)
+//     --stragglers=R       slow-disk windows per hour (default 0)
+//     --straggler-factor=F remaining device speed of a straggler (0.35)
+//     --correlated=P       probability an outage hits every server (0)
+//     --permanent=P        probability an outage is a permanent loss (0)
+//     --retry              arm client deadlines + retry/backoff
+//     --timeout=S          per-request deadline, sim seconds (20)
+//     --attempts=N         retry budget per request (4)
+//     --watchdog=S         job watchdog, sim seconds (auto when faulted)
+//     --seed=N             chaos seed (default 1); same seed = same run
 //     --ssd                include SSD configurations in the sweep
 #include <cstdio>
 #include <cstring>
@@ -50,6 +61,30 @@ int main(int argc, char** argv) {
         opts.detailed_pricing = cloud::DetailedPricing{};
       } else if (arg.rfind("--failures=", 0) == 0) {
         opts.failures_per_hour = std::stod(arg.substr(11));
+      } else if (arg.rfind("--brownouts=", 0) == 0) {
+        opts.fault_model.brownouts_per_hour = std::stod(arg.substr(12));
+      } else if (arg.rfind("--brownout-fraction=", 0) == 0) {
+        opts.fault_model.brownout_fraction = std::stod(arg.substr(20));
+      } else if (arg.rfind("--stragglers=", 0) == 0) {
+        opts.fault_model.stragglers_per_hour = std::stod(arg.substr(13));
+      } else if (arg.rfind("--straggler-factor=", 0) == 0) {
+        opts.fault_model.straggler_factor = std::stod(arg.substr(19));
+      } else if (arg.rfind("--correlated=", 0) == 0) {
+        opts.fault_model.correlated_outage_probability =
+            std::stod(arg.substr(13));
+      } else if (arg.rfind("--permanent=", 0) == 0) {
+        opts.fault_model.permanent_loss_probability =
+            std::stod(arg.substr(12));
+      } else if (arg == "--retry") {
+        opts.tuning.retry.enabled = true;
+      } else if (arg.rfind("--timeout=", 0) == 0) {
+        opts.tuning.retry.request_timeout = std::stod(arg.substr(10));
+      } else if (arg.rfind("--attempts=", 0) == 0) {
+        opts.tuning.retry.max_attempts = std::stoi(arg.substr(11));
+      } else if (arg.rfind("--watchdog=", 0) == 0) {
+        opts.watchdog_sim_time = std::stod(arg.substr(11));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        opts.seed = std::stoull(arg.substr(7));
       } else if (arg == "--ssd") {
         ssd = true;
       } else if (positional == 0) {
@@ -76,14 +111,25 @@ int main(int argc, char** argv) {
       candidates = picked;
     }
 
-    TextTable t({"config", "time", "cost", "I/O time", "instances",
-                 "fs requests"});
+    const bool chaos = opts.fault_model.any() || opts.tuning.retry.enabled;
+    std::vector<std::string> columns = {"config", "time", "cost", "I/O time",
+                                        "instances", "fs requests"};
+    if (chaos) {
+      columns.push_back("outcome");
+      columns.push_back("retries");
+    }
+    TextTable t(columns);
     for (const auto& cfg : candidates) {
       const auto r = io::run_workload(w, cfg, opts);
-      t.add_row({cfg.label(), format_time(r.total_time),
-                 format_money(r.cost), format_time(r.io_time),
-                 std::to_string(r.num_instances),
-                 std::to_string(r.fs_requests)});
+      std::vector<std::string> row = {
+          cfg.label(), format_time(r.total_time), format_money(r.cost),
+          format_time(r.io_time), std::to_string(r.num_instances),
+          std::to_string(r.fs_requests)};
+      if (chaos) {
+        row.push_back(io::to_string(r.outcome));
+        row.push_back(std::to_string(r.retries));
+      }
+      t.add_row(row);
     }
     std::printf("%s np=%d on the simulated cloud (%zu configuration%s)\n\n",
                 app.c_str(), np, candidates.size(),

@@ -1,13 +1,29 @@
-// Transient failure injection (paper §5.6 observation 5: lost connections
-// to I/O servers happen on real cloud platforms).
+// Fault injection (paper §5.6 observation 5: lost connections to I/O
+// servers happen on real cloud platforms).
 //
-// An outage zeroes the capacity of a server's NIC or device resources for
-// a period; in-flight flows stall and resume when capacity is restored —
-// clients observe a hung connection rather than an error, which matches
-// the stalled-then-recovered behaviour the paper reports.
+// The vocabulary goes beyond the binary outage:
+//   * outage      — capacity zeroed for a window; in-flight flows stall
+//                   and resume on restore (a hung connection, not an
+//                   error, matching the paper's observed behaviour).
+//   * brownout    — capacity degraded to a fraction for a window
+//                   (multi-tenant interference, throttled EBS volume).
+//   * straggler   — a slow-disk server: its *device* resources run at a
+//                   fraction for a (typically long) window.
+//   * permanent loss — a server never comes back; only clients with
+//                   deadlines + retries make progress past it.
+// Correlated outages hit every server in one window (rack/AZ events).
+//
+// All schedules are driven by an explicitly seeded Rng, so chaos runs are
+// reproducible bit-for-bit.  Effective capacity is always recomputed from
+// the resource's *original* capacity (never incrementally), so arbitrarily
+// overlapped faults restore the exact pre-fault value — including the
+// jittered capacities ClusterModel sets up at construction.
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "acic/cloud/cluster.hpp"
 #include "acic/common/rng.hpp"
@@ -15,34 +31,120 @@
 
 namespace acic::cloud {
 
+enum class FaultKind {
+  kOutage,         ///< capacity -> 0 for the window
+  kBrownout,       ///< capacity -> original * fraction for the window
+  kStraggler,      ///< device capacity -> original * fraction (slow disk)
+  kPermanentLoss,  ///< capacity -> 0, never restored
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kOutage;
+  int server = 0;
+  SimTime at = 0.0;
+  /// Window length; ignored for kPermanentLoss.
+  SimTime duration = 10.0;
+  /// Remaining capacity fraction for kBrownout / kStraggler.
+  double fraction = 0.2;
+  /// Hit the NIC (true) or the storage device (false).  Stragglers are
+  /// always device-side regardless of this flag.
+  bool hit_nic = false;
+};
+
+/// Rates and shapes for seeded random fault schedules.  All rates are
+/// mean events/hour (exponential inter-arrival); `any()` is false for the
+/// all-zero default, which keeps reliable runs injector-free.
+struct FaultModel {
+  double outages_per_hour = 0.0;
+  double brownouts_per_hour = 0.0;
+  double brownout_fraction = 0.2;
+  double stragglers_per_hour = 0.0;
+  double straggler_factor = 0.35;
+  /// Probability that a scheduled outage is correlated (hits every
+  /// server at once) instead of a single server.
+  double correlated_outage_probability = 0.0;
+  /// Probability that a scheduled outage is a permanent server loss.
+  double permanent_loss_probability = 0.0;
+  SimTime min_duration = 5.0;
+  SimTime max_duration = 30.0;
+
+  bool any() const {
+    return outages_per_hour > 0.0 || brownouts_per_hour > 0.0 ||
+           stragglers_per_hour > 0.0;
+  }
+  bool valid() const;
+};
+
 class FailureInjector {
  public:
   explicit FailureInjector(ClusterModel& cluster) : cluster_(cluster) {}
+  ~FailureInjector();
 
   enum class Target {
     kServerNic,     ///< sever the server instance's network connectivity
     kServerDevice,  ///< stall the server's storage device
   };
 
-  /// Schedule one outage of `duration` seconds starting at `at`.
+  /// Schedule one fault.
+  void inject(const FaultSpec& spec);
+
+  /// Legacy binary outage of `duration` seconds starting at `at`.
   void inject(Target target, int server, SimTime at, SimTime duration);
 
-  /// Schedule Poisson-ish random outages until `horizon` at the given mean
-  /// rate; each outage picks a random server/target and lasts
-  /// [min_duration, max_duration).
+  /// Correlated outage: every I/O server loses the chosen side for one
+  /// shared window (a rack/AZ-level event).
+  void inject_correlated(SimTime at, SimTime duration, bool hit_nic = false);
+
+  /// Schedule a seeded random fault mix until `horizon` following
+  /// `model`'s rates.  Deterministic for a given Rng state.
+  void inject_random(Rng& rng, const FaultModel& model, SimTime horizon);
+
+  /// Legacy signature: outages only, at the given mean rate.
   void inject_random(Rng& rng, double outages_per_hour, SimTime horizon,
                      SimTime min_duration = 5.0, SimTime max_duration = 30.0);
 
   int scheduled_outages() const { return scheduled_; }
 
+  /// Cancel every pending (unfired) suppress/degrade/restore event and
+  /// force still-faulted resources back to their exact original
+  /// capacities.  Call when the job finishes before the fault schedule
+  /// runs out, so late callbacks neither inflate the event count nor
+  /// leak a suppressed resource into a caller's post-run bookkeeping.
+  /// Returns the number of events cancelled.
+  std::size_t cancel_pending();
+
  private:
-  void suppress(sim::ResourceId id);
-  void restore(sim::ResourceId id);
+  /// Per-resource fault bookkeeping.  `original` is captured when the
+  /// first fault arrives and is the single source of truth: the applied
+  /// capacity is always derived from it, so the final restore lands on
+  /// the exact original value no matter how faults overlapped.
+  struct ResourceState {
+    double original = 0.0;
+    int outages = 0;                   ///< active zero-capacity windows
+    std::vector<double> degradations;  ///< active brownout/straggler fractions
+    bool permanent = false;
+  };
+
+  void begin_outage(sim::ResourceId id);
+  void end_outage(sim::ResourceId id);
+  void begin_degradation(sim::ResourceId id, double fraction);
+  void end_degradation(sim::ResourceId id, double fraction);
+  void mark_permanent(sim::ResourceId id);
+  void apply(sim::ResourceId id);
+  ResourceState& state_of(sim::ResourceId id);
+  std::vector<sim::ResourceId> resources_for(const FaultSpec& spec) const;
+  void track(sim::EventId event, SimTime at);
 
   ClusterModel& cluster_;
   int scheduled_ = 0;
-  /// resource -> (original capacity, active outage nesting count)
-  std::map<sim::ResourceId, std::pair<double, int>> active_;
+  std::map<sim::ResourceId, ResourceState> active_;
+  /// Every scheduled (event, time) pair, for cancel_pending().
+  std::vector<std::pair<sim::EventId, SimTime>> pending_;
+  std::size_t faults_injected_ = 0;   ///< rolled into obs at destruction
+  std::size_t events_cancelled_ = 0;  ///< ditto
 };
 
 }  // namespace acic::cloud

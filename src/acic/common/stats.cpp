@@ -92,4 +92,31 @@ double geomean_of(const std::vector<double>& samples) {
   return std::exp(log_sum / static_cast<double>(samples.size()));
 }
 
+double mad_of(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double med = median_of(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (double x : samples) deviations.push_back(std::abs(x - med));
+  return median_of(deviations);
+}
+
+OutlierFilter reject_outliers(const std::vector<double>& samples,
+                              double threshold) {
+  ACIC_CHECK(threshold > 0.0);
+  OutlierFilter filter;
+  filter.keep.assign(samples.size(), true);
+  const double mad = mad_of(samples);
+  if (mad <= 0.0) return filter;  // identical (or too few) repeats
+  const double med = median_of(samples);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double score = 0.6745 * std::abs(samples[i] - med) / mad;
+    if (score > threshold) {
+      filter.keep[i] = false;
+      ++filter.rejected;
+    }
+  }
+  return filter;
+}
+
 }  // namespace acic

@@ -60,4 +60,18 @@ double median_of(const std::vector<double>& samples);
 /// Geometric mean; requires all samples > 0.
 double geomean_of(const std::vector<double>& samples);
 
+/// Median absolute deviation around the median; 0 for < 2 samples.
+double mad_of(const std::vector<double>& samples);
+
+/// Robust outlier rejection via the modified z-score
+/// (0.6745 * |x - median| / MAD, Iglewicz–Hoaglin).  keep[i] is false
+/// for samples whose score exceeds `threshold` (3.5 is the customary
+/// cut).  A zero MAD (e.g. identical repeats) keeps everything.
+struct OutlierFilter {
+  std::vector<bool> keep;
+  std::size_t rejected = 0;
+};
+OutlierFilter reject_outliers(const std::vector<double>& samples,
+                              double threshold = 3.5);
+
 }  // namespace acic

@@ -10,6 +10,7 @@
 #include "acic/common/error.hpp"
 #include "acic/common/parallel.hpp"
 #include "acic/common/rng.hpp"
+#include "acic/common/stats.hpp"
 #include "acic/ior/ior.hpp"
 #include "acic/obs/metrics.hpp"
 
@@ -64,7 +65,7 @@ CsvTable TrainingDatabase::to_csv() const {
   }
   t.header.insert(t.header.end(),
                   {"time", "cost", "baseline_time", "baseline_cost",
-                   "sequence"});
+                   "sequence", "repeats", "rejected", "retries"});
   for (const auto& s : samples_) {
     std::vector<std::string> row;
     char buf[64];
@@ -77,6 +78,9 @@ CsvTable TrainingDatabase::to_csv() const {
       row.emplace_back(buf);
     }
     row.push_back(std::to_string(s.sequence));
+    row.push_back(std::to_string(s.repeats));
+    row.push_back(std::to_string(s.rejected));
+    row.push_back(std::to_string(s.retries));
     t.rows.push_back(std::move(row));
   }
   return t;
@@ -84,8 +88,14 @@ CsvTable TrainingDatabase::to_csv() const {
 
 TrainingDatabase TrainingDatabase::from_csv(const CsvTable& table) {
   TrainingDatabase db;
-  ACIC_CHECK_MSG(table.header.size() ==
-                     static_cast<std::size_t>(kNumDims) + 5,
+  // Two accepted arities: the legacy layout (measurements only) and the
+  // provenance layout with repeats/rejected/retries appended.  Legacy
+  // databases keep loading unchanged; their provenance defaults to one
+  // clean single-shot measurement per row.
+  const bool provenance = table.header.size() ==
+                          static_cast<std::size_t>(kNumDims) + 8;
+  ACIC_CHECK_MSG(provenance || table.header.size() ==
+                                   static_cast<std::size_t>(kNumDims) + 5,
                  "unexpected training CSV header arity");
   std::size_t row_number = 0;
   for (const auto& row : table.rows) {
@@ -100,6 +110,11 @@ TrainingDatabase TrainingDatabase::from_csv(const CsvTable& table) {
       s.cost = std::stod(row[kNumDims + 1]);
       s.baseline_time = std::stod(row[kNumDims + 2]);
       s.baseline_cost = std::stod(row[kNumDims + 3]);
+      if (provenance) {
+        s.repeats = std::stoi(row[kNumDims + 5]);
+        s.rejected = std::stoi(row[kNumDims + 6]);
+        s.retries = std::stoi(row[kNumDims + 7]);
+      }
     } catch (const std::logic_error&) {
       // std::stod's bare "stod" message names neither the row nor the
       // cell; rewrap so a corrupt shared database is diagnosable.
@@ -159,6 +174,85 @@ std::string point_key(const Point& p) {
     key += buf;
   }
   return key;
+}
+
+/// One fault-tolerant measurement: up to `max_attempts` runs per repeat
+/// (failed outcomes retried on a perturbed seed), MAD-based outlier
+/// rejection across the surviving repeats, median of what is left.
+struct Measurement {
+  double time = 0.0;
+  double cost = 0.0;
+  int repeats = 0;   ///< successful repeats that produced the medians
+  int rejected = 0;  ///< repeats dropped by the outlier cut
+  int retries = 0;   ///< failed attempts that were retried
+  bool ok = false;   ///< false = every repeat failed (quarantine)
+};
+
+Measurement measure_point(const io::Workload& workload,
+                          const cloud::IoConfig& config,
+                          std::uint64_t base_seed, const TrainingPlan& plan,
+                          TrainingStats& stats, std::mutex& stats_mutex) {
+  const SweepResilience& res = plan.resilience;
+  const int repeats = std::max(1, res.repeats);
+  const int attempts = std::max(1, res.max_attempts);
+
+  Measurement m;
+  std::vector<double> times;
+  std::vector<double> costs;
+  times.reserve(static_cast<std::size_t>(repeats));
+  costs.reserve(static_cast<std::size_t>(repeats));
+  for (int k = 0; k < repeats; ++k) {
+    for (int a = 0; a < attempts; ++a) {
+      io::RunOptions opts;
+      // Repeat 0 / attempt 0 reproduces the legacy single-shot seed
+      // exactly (the XOR terms vanish), so default plans stay
+      // bit-identical with pre-resilience sweeps.
+      opts.seed = base_seed ^
+                  (static_cast<std::uint64_t>(k) * 0x7f4a7c15ULL) ^
+                  (static_cast<std::uint64_t>(a) * 0xc2b2ae35ULL);
+      opts.jitter_sigma = plan.jitter_sigma;
+      opts.fault_model = res.fault_model;
+      opts.tuning.retry = res.retry;
+      opts.watchdog_sim_time = res.watchdog_sim_time;
+      const auto r = ior::run_ior(workload, config, opts);
+      const bool failed = r.outcome == io::RunOutcome::kFailed;
+      const bool will_retry = failed && a + 1 < attempts;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.runs;
+        stats.simulated_hours += r.total_time / kHour;
+        stats.money += r.cost;
+        if (failed) ++stats.failed_runs;
+        if (will_retry) ++stats.retried_runs;
+      }
+      if (!failed) {
+        times.push_back(r.total_time);
+        costs.push_back(r.cost);
+        break;
+      }
+      if (will_retry) ++m.retries;
+    }
+  }
+  if (times.empty()) return m;  // ok stays false: quarantine
+
+  const auto filter = reject_outliers(times, res.outlier_mad_threshold);
+  std::vector<double> kept_times;
+  std::vector<double> kept_costs;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!filter.keep[i]) continue;
+    kept_times.push_back(times[i]);
+    kept_costs.push_back(costs[i]);
+  }
+  m.time = median_of(kept_times);
+  m.cost = median_of(kept_costs);
+  m.repeats = static_cast<int>(kept_times.size());
+  m.rejected = static_cast<int>(filter.rejected);
+  m.ok = true;
+  if (filter.rejected > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.rejected_outliers += filter.rejected;
+  }
+  return m;
 }
 
 }  // namespace
@@ -228,20 +322,29 @@ TrainingStats collect_training_data(TrainingDatabase& db,
   std::mutex stats_mutex;
   const auto baseline_cfg = cloud::IoConfig::baseline();
 
+  const auto quarantine = [&](const Point& p) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.quarantined;
+    stats.quarantined_labels.push_back(ParamSpace::config_of(p).label() +
+                                       "|" + workload_key(p));
+  };
+
   parallel_for(
       baseline_points.size(),
       [&](std::size_t i) {
         const Point& p = baseline_points[i];
-        io::RunOptions opts;
-        opts.seed = plan.seed ^ 0xb5e11eULL ^ i;
-        opts.jitter_sigma = plan.jitter_sigma;
-        const auto r =
-            ior::run_ior(ParamSpace::workload_of(p), baseline_cfg, opts);
+        const auto m =
+            measure_point(ParamSpace::workload_of(p), baseline_cfg,
+                          plan.seed ^ 0xb5e11eULL ^ i, plan, stats,
+                          stats_mutex);
+        if (!m.ok) {
+          // An unmeasurable baseline poisons every point that shares the
+          // workload: leave the (0, 0) placeholder and quarantine them
+          // below rather than divide by a failed measurement.
+          return;
+        }
         std::lock_guard<std::mutex> lock(stats_mutex);
-        baselines[workload_key(p)] = {r.total_time, r.cost};
-        ++stats.runs;
-        stats.simulated_hours += r.total_time / kHour;
-        stats.money += r.cost;
+        baselines[workload_key(p)] = {m.time, m.cost};
       },
       plan.threads);
 
@@ -250,36 +353,60 @@ TrainingStats collect_training_data(TrainingDatabase& db,
       points.size(),
       [&](std::size_t i) {
         const Point& p = points[i];
-        io::RunOptions opts;
-        opts.seed = plan.seed ^ (i * 0x9e3779b9ULL + 17);
-        opts.jitter_sigma = plan.jitter_sigma;
-        const auto r = ior::run_ior(ParamSpace::workload_of(p),
-                                    ParamSpace::config_of(p), opts);
+        const auto m = measure_point(
+            ParamSpace::workload_of(p), ParamSpace::config_of(p),
+            plan.seed ^ (i * 0x9e3779b9ULL + 17), plan, stats, stats_mutex);
+        if (!m.ok) {
+          quarantine(p);
+          return;  // collected[i].time stays 0: skipped at insert below
+        }
         TrainingSample s;
         s.point = p;
-        s.time = r.total_time;
-        s.cost = r.cost;
+        s.time = m.time;
+        s.cost = m.cost;
+        s.repeats = m.repeats;
+        s.rejected = m.rejected;
+        s.retries = m.retries;
         collected[i] = s;
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        ++stats.runs;
-        stats.simulated_hours += r.total_time / kHour;
-        stats.money += r.cost;
       },
       plan.threads);
 
+  std::size_t inserted = 0;
   for (auto& s : collected) {
+    if (s.time <= 0.0) continue;  // quarantined point
     const auto& base = baselines.at(workload_key(s.point));
+    if (base.first <= 0.0) {
+      // Baseline itself was quarantined; the relative label is undefined.
+      quarantine(s.point);
+      continue;
+    }
     s.baseline_time = base.first;
     s.baseline_cost = base.second;
     db.insert(s);
+    ++inserted;
   }
 
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("training.sweeps").inc();
   registry.counter("training.runs").add(static_cast<double>(stats.runs));
   registry.counter("training.simulated_hours").add(stats.simulated_hours);
-  registry.counter("training.samples")
-      .add(static_cast<double>(collected.size()));
+  registry.counter("training.samples").add(static_cast<double>(inserted));
+  if (stats.retried_runs > 0) {
+    registry.counter("training.retried_runs")
+        .add(static_cast<double>(stats.retried_runs));
+  }
+  if (stats.failed_runs > 0) {
+    registry.counter("training.failed_runs")
+        .add(static_cast<double>(stats.failed_runs));
+  }
+  if (stats.rejected_outliers > 0) {
+    registry.counter("training.rejected_outliers")
+        .add(static_cast<double>(stats.rejected_outliers));
+  }
+  if (stats.quarantined > 0) {
+    registry.counter("training.quarantined")
+        .add(static_cast<double>(stats.quarantined));
+  }
   return stats;
 }
 

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "acic/cloud/failure.hpp"
 #include "acic/common/check.hpp"
 #include "acic/common/csv.hpp"
 #include "acic/core/paramspace.hpp"
+#include "acic/fs/retry.hpp"
 #include "acic/ml/dataset.hpp"
 
 namespace acic::core {
@@ -30,6 +32,12 @@ struct TrainingSample {
   double baseline_time = 0.0;  ///< same workload on the baseline config
   double baseline_cost = 0.0;
   std::uint64_t sequence = 0;  ///< insertion order (for data aging)
+  /// Measurement provenance (resilient sweeps): how many successful
+  /// repeats back this sample, how many were rejected as outliers, and
+  /// how many failed attempts had to be retried along the way.
+  int repeats = 1;
+  int rejected = 0;
+  int retries = 0;
 
   /// Relative improvement over baseline (higher is better).  Division is
   /// safe because TrainingDatabase::insert rejects non-positive
@@ -68,6 +76,25 @@ class TrainingDatabase {
   std::uint64_t next_sequence_ = 1;
 };
 
+/// Fault-tolerant measurement settings for a sweep.  The default is the
+/// legacy single-shot protocol: one run per point, no faults, no retry —
+/// bit-identical seeds and results.
+struct SweepResilience {
+  /// Measurements per point; the median of the survivors is recorded.
+  int repeats = 1;
+  /// Attempts per measurement before it is written off as failed.
+  int max_attempts = 1;
+  /// Modified-z-score cut for MAD-based outlier rejection across the
+  /// repeats (a brownout-corrupted repeat cannot poison the CART label).
+  double outlier_mad_threshold = 3.5;
+  /// Faults injected into every measurement run (chaos training).
+  cloud::FaultModel fault_model;
+  /// Client-side deadline/retry reaction passed to the runs.
+  fs::RetryPolicy retry;
+  /// Per-run watchdog bound (0 = runner default when faults are armed).
+  SimTime watchdog_sim_time = 0.0;
+};
+
 /// How to sample the space when bootstrapping the database.
 struct TrainingPlan {
   /// Explore `top_dims` dimensions in total; the rest stay at their
@@ -91,12 +118,22 @@ struct TrainingPlan {
   double jitter_sigma = 0.06;
   /// Host threads for the independent simulations (0 = hardware).
   unsigned threads = 0;
+  /// Fault tolerance for the measurement runs (defaults = legacy
+  /// single-shot protocol).
+  SweepResilience resilience;
 };
 
 struct TrainingStats {
   std::size_t runs = 0;            ///< IOR runs executed (incl. baselines)
   double simulated_hours = 0.0;    ///< total simulated machine time
   Money money = 0.0;               ///< what the runs would have cost on EC2
+  std::size_t retried_runs = 0;    ///< failed attempts that were retried
+  std::size_t failed_runs = 0;     ///< runs graded RunOutcome::kFailed
+  std::size_t rejected_outliers = 0;  ///< repeats dropped by the MAD cut
+  std::size_t quarantined = 0;     ///< points with no usable measurement
+  /// `config|workload` keys of quarantined points (repeatedly failing
+  /// configurations a crowdsourcing deployment should stop assigning).
+  std::vector<std::string> quarantined_labels;
 };
 
 /// The neutral defaults used for unexplored dimensions (baseline config +

@@ -7,17 +7,60 @@
 
 namespace acic::fs {
 
+void FileSystem::configure_fault_tolerance(const RetryPolicy& policy,
+                                           std::uint64_t seed) {
+  ACIC_CHECK_MSG(policy.valid(), "invalid retry policy");
+  retry_ = policy;
+  // Decorrelate from the cluster's jitter stream without a new knob.
+  retry_rng_ = Rng(seed ^ 0x8e712ffULL);
+}
+
+sim::Task FileSystem::resilient_transfer(cloud::ClusterModel& cluster,
+                                         std::vector<sim::ResourceId> path,
+                                         Bytes bytes) {
+  if (!retry_.enabled) {
+    co_await cluster.network().transfer(std::move(path), bytes);
+    co_return;
+  }
+  auto& sim = cluster.simulator();
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    bool completed = false;
+    const SimTime started = sim.now();
+    // The path is re-used across attempts, so pass a copy each time.
+    co_await cluster.network().transfer_within(path, bytes,
+                                               retry_.request_timeout,
+                                               &completed);
+    if (completed) co_return;
+    ++fault_stats_.timeouts;
+    fault_stats_.stalled_time += sim.now() - started;
+    if (attempt + 1 >= retry_.max_attempts) {
+      // Budget exhausted: abandon the payload (it was cancelled on the
+      // wire) and let the rank carry on — a lost write, not a hang.
+      ++fault_stats_.failed_requests;
+      co_return;
+    }
+    ++fault_stats_.retries;
+    co_await sim.delay(backoff_delay(retry_, attempt, retry_rng_));
+  }
+}
+
 std::unique_ptr<FileSystem> make_filesystem(cloud::ClusterModel& cluster,
                                             const FsTuning& tuning) {
+  std::unique_ptr<FileSystem> fs;
   switch (cluster.options().config.fs) {
     case cloud::FileSystemType::kNfs:
-      return std::make_unique<NfsModel>(cluster, tuning);
+      fs = std::make_unique<NfsModel>(cluster, tuning);
+      break;
     case cloud::FileSystemType::kPvfs2:
-      return std::make_unique<Pvfs2Model>(cluster, tuning);
+      fs = std::make_unique<Pvfs2Model>(cluster, tuning);
+      break;
     case cloud::FileSystemType::kLustre:
-      return std::make_unique<LustreModel>(cluster, tuning);
+      fs = std::make_unique<LustreModel>(cluster, tuning);
+      break;
   }
-  throw Error("unknown file system type");
+  if (!fs) throw Error("unknown file system type");
+  fs->configure_fault_tolerance(tuning.retry, cluster.options().seed);
+  return fs;
 }
 
 }  // namespace acic::fs

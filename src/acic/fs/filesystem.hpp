@@ -23,10 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "acic/cloud/cluster.hpp"
 #include "acic/common/check.hpp"
+#include "acic/common/rng.hpp"
 #include "acic/common/units.hpp"
+#include "acic/fs/retry.hpp"
 #include "acic/simcore/task.hpp"
 
 namespace acic::fs {
@@ -54,6 +57,10 @@ struct FsTuning {
   double pvfs_write_latency_factor = 0.9;  // direct I/O, no client cache
   double pvfs_read_latency_factor = 1.0;
   SimTime pvfs_mds_op_cost = 0.50 * kMillisecond;
+
+  /// Client-side deadline/retry/backoff behaviour (disabled by default,
+  /// which preserves the legacy wait-forever semantics bit-for-bit).
+  RetryPolicy retry;
 };
 
 class FileSystem {
@@ -82,7 +89,25 @@ class FileSystem {
   std::uint64_t requests_served() const { return requests_; }
   Bytes bytes_moved() const { return bytes_; }
 
+  /// Arm the deadline/retry layer (no-op for a disabled policy).  The
+  /// backoff jitter stream is seeded from `seed`, so retry schedules are
+  /// deterministic per run.
+  void configure_fault_tolerance(const RetryPolicy& policy,
+                                 std::uint64_t seed);
+
+  /// Fault-reaction totals accumulated by resilient_transfer().
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  protected:
+  /// Move a payload with the configured deadline/retry/backoff reaction;
+  /// falls back to a plain (wait-forever) transfer when the policy is
+  /// disabled.  An abandoned payload counts as a failed request; the
+  /// coroutine still returns normally so the rank can finish — the
+  /// runner downgrades the run's outcome instead.
+  sim::Task resilient_transfer(cloud::ClusterModel& cluster,
+                               std::vector<sim::ResourceId> path,
+                               Bytes bytes);
+
   void account(Bytes bytes, double op_weight) {
     ACIC_EXPECTS(bytes >= 0.0, "negative request size " << bytes);
     ACIC_EXPECTS(op_weight > 0.0, "non-positive op weight " << op_weight);
@@ -93,6 +118,9 @@ class FileSystem {
  private:
   std::uint64_t requests_ = 0;
   Bytes bytes_ = 0.0;
+  RetryPolicy retry_;
+  FaultStats fault_stats_;
+  Rng retry_rng_{0};
 };
 
 /// Instantiate the model selected by the cluster's IoConfig.

@@ -49,7 +49,7 @@ sim::Task LustreModel::server_chunk(int rank, int server, Bytes bytes,
   queue.release();
   auto path = is_write ? cluster_.write_path(rank, server)
                        : cluster_.read_path(rank, server);
-  co_await cluster_.network().transfer(std::move(path), bytes);
+  co_await resilient_transfer(cluster_, std::move(path), bytes);
 }
 
 sim::Task LustreModel::request(int rank, Bytes bytes, bool is_write,

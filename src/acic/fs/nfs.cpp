@@ -92,19 +92,19 @@ sim::Task NfsModel::request(int rank, Bytes bytes, bool is_write,
                      op_weight);
   queue.release();
 
-  // Payload transfer.
+  // Payload transfer (deadline/retry-aware when the policy is armed).
   if (absorbed) {
     auto path = cluster_.cached_write_path(rank, kServer);
     if (path.empty()) {
       // Local memory copy.
       co_await sim.delay(bytes / 6.0e9);
     } else {
-      co_await cluster_.network().transfer(std::move(path), bytes);
+      co_await resilient_transfer(cluster_, std::move(path), bytes);
     }
   } else {
     auto path = is_write ? cluster_.write_path(rank, kServer)
                          : cluster_.read_path(rank, kServer);
-    co_await cluster_.network().transfer(std::move(path), bytes);
+    co_await resilient_transfer(cluster_, std::move(path), bytes);
   }
 }
 

@@ -42,7 +42,7 @@ sim::Task Pvfs2Model::server_chunk(int rank, int server, Bytes bytes,
   queue.release();
   auto path = is_write ? cluster_.write_path(rank, server)
                        : cluster_.read_path(rank, server);
-  co_await cluster_.network().transfer(std::move(path), bytes);
+  co_await resilient_transfer(cluster_, std::move(path), bytes);
 }
 
 sim::Task Pvfs2Model::request(int rank, Bytes bytes, bool is_write,

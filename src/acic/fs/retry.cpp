@@ -1,0 +1,26 @@
+#include "acic/fs/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acic::fs {
+
+bool RetryPolicy::valid() const {
+  return request_timeout > 0.0 && max_attempts >= 1 &&
+         backoff_base >= 0.0 && backoff_multiplier >= 1.0 &&
+         backoff_cap >= backoff_base && backoff_jitter >= 0.0 &&
+         backoff_jitter < 1.0;
+}
+
+SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng) {
+  double delay =
+      policy.backoff_base *
+      std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, static_cast<double>(policy.backoff_cap));
+  if (policy.backoff_jitter > 0.0) {
+    delay *= 1.0 + policy.backoff_jitter * (2.0 * rng.uniform() - 1.0);
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace acic::fs

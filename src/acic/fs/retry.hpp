@@ -1,0 +1,51 @@
+// Client-side fault tolerance for file-system requests: per-request
+// deadlines with retry + exponential backoff + jitter and a bounded
+// attempt budget.
+//
+// A request whose payload transfer exceeds the deadline is treated as a
+// lost connection (paper §5.6 obs. 5): the in-flight flow is cancelled,
+// the client backs off and re-sends the whole payload.  Once the budget
+// is exhausted the request is abandoned and counted as failed — the
+// runner grades such runs `degraded` (or `failed` when nothing makes
+// progress at all) instead of hanging on a stalled cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "acic/common/rng.hpp"
+#include "acic/common/units.hpp"
+
+namespace acic::fs {
+
+struct RetryPolicy {
+  /// Master switch; the all-default policy leaves the legacy
+  /// wait-forever semantics untouched.
+  bool enabled = false;
+  /// Per-attempt transfer deadline, seconds of simulated time.
+  SimTime request_timeout = 20.0;
+  /// Total attempts per request (first try included).
+  int max_attempts = 4;
+  /// Backoff for attempt k sleeps base * multiplier^k, capped, then
+  /// scaled by a uniform jitter in [1-jitter, 1+jitter] (decorrelates
+  /// clients re-sending into the same recovering server).
+  SimTime backoff_base = 0.25;
+  double backoff_multiplier = 2.0;
+  SimTime backoff_cap = 8.0;
+  double backoff_jitter = 0.25;
+
+  bool valid() const;
+};
+
+/// Per-filesystem fault-reaction totals for one run.
+struct FaultStats {
+  std::uint64_t timeouts = 0;         ///< attempts that hit the deadline
+  std::uint64_t retries = 0;          ///< re-sent payloads
+  std::uint64_t failed_requests = 0;  ///< abandoned after the full budget
+  SimTime stalled_time = 0.0;         ///< simulated seconds spent stalled
+};
+
+/// Deterministic backoff delay for 0-based `attempt` (draws one uniform
+/// from `rng` when the policy jitters).
+SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng);
+
+}  // namespace acic::fs

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "acic/cloud/failure.hpp"
 #include "acic/cloud/ioconfig.hpp"
 #include "acic/cloud/pricing.hpp"
 #include "acic/common/units.hpp"
@@ -22,7 +23,17 @@ struct RunOptions {
   /// Multi-tenant capacity jitter (log-normal sigma).
   double jitter_sigma = 0.06;
   /// Mean transient-outage rate across the job (0 = reliable run).
+  /// Legacy shorthand for fault_model.outages_per_hour; the larger of
+  /// the two wins.
   double failures_per_hour = 0.0;
+  /// Full fault vocabulary (brownouts, stragglers, correlated outages,
+  /// permanent loss).  All-zero by default.
+  cloud::FaultModel fault_model;
+  /// Job-level watchdog: give up once simulated time would pass this
+  /// bound and grade the run `failed`.  0 picks a default (24 h) when
+  /// any fault is armed; with no faults the legacy deadlock check runs
+  /// unchanged.
+  SimTime watchdog_sim_time = 0.0;
   fs::FsTuning tuning = {};
   /// Optional logical-request tracer (the profiling tool's tap).
   profiler::IoTracer* tracer = nullptr;
@@ -30,6 +41,19 @@ struct RunOptions {
   /// instead of the paper's pure Eq. (1).
   std::optional<cloud::DetailedPricing> detailed_pricing;
 };
+
+/// How a run ended.  `degraded` means the job finished but the fault
+/// reaction had to intervene (timeouts or abandoned payloads); its
+/// timing is still a usable—if noisy—measurement.  `failed` runs hit the
+/// watchdog or stalled outright; their timing is meaningless and must
+/// not enter a training database.
+enum class RunOutcome {
+  kOk,
+  kDegraded,
+  kFailed,
+};
+
+const char* to_string(RunOutcome outcome);
 
 struct RunResult {
   SimTime total_time = 0.0;  ///< job wall time, seconds
@@ -39,10 +63,19 @@ struct RunResult {
   std::uint64_t fs_requests = 0;
   Bytes fs_bytes = 0.0;
   std::uint64_t sim_events = 0;
+  RunOutcome outcome = RunOutcome::kOk;
+  /// Fault-reaction statistics (all zero on a clean run).
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failed_requests = 0;
+  SimTime stalled_time = 0.0;
+  /// Unfired fault suppress/restore events cancelled at job end.
+  std::uint64_t fault_events_cancelled = 0;
 };
 
 /// Execute `workload` under `config`.  Deterministic for a given seed.
-/// Throws acic::Error on invalid inputs or if the job deadlocks.
+/// Throws acic::Error on invalid inputs; a stalled or watchdog-expired
+/// chaos run returns outcome == kFailed instead of hanging or throwing.
 RunResult run_workload(const Workload& workload,
                        const cloud::IoConfig& config,
                        const RunOptions& options = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <limits>
@@ -11,6 +12,7 @@
 
 #include "acic/common/error.hpp"
 #include "acic/common/parallel.hpp"
+#include "acic/io/runner.hpp"
 
 namespace acic::service {
 
@@ -67,6 +69,33 @@ int parse_int_field(const std::string& key, const std::string& text) {
   return static_cast<int>(v);
 }
 
+/// Non-negative, finite double protocol field (fault-model knobs).
+double parse_nonneg_double(const std::string& key, const std::string& text) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw Error(key + "='" + text + "' is not a number");
+  }
+  if (pos != text.size() || !std::isfinite(v) || v < 0.0) {
+    throw Error(key + "='" + text + "' must be a non-negative number");
+  }
+  return v;
+}
+
+/// Keys of the simulate verb that are *not* workload keys.
+bool is_simulate_key(const std::string& key) {
+  static const char* kKeys[] = {
+      "seed",       "failures", "brownouts", "brownout_fraction",
+      "stragglers", "straggler_factor", "correlated", "permanent",
+      "retry",      "timeout",  "attempts",  "watchdog"};
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Bytes parse_size(const std::string& text) {
@@ -115,6 +144,7 @@ io::Workload parse_workload_query(const std::string& line) {
   w.name = "query";
   for (const auto& [key, value] : kv) {
     if (key == "objective" || key == "top_k" || key == "config") continue;
+    if (is_simulate_key(key)) continue;
     if (key == "np") {
       w.num_processes = parse_int_field(key, value);
     } else if (key == "io_procs") {
@@ -144,13 +174,22 @@ io::Workload parse_workload_query(const std::string& line) {
 
 QueryService::Engine::Engine(core::TrainingDatabase db,
                              core::PbRankingResult rank)
-    : database(std::move(db)),
-      ranking(std::move(rank)),
-      perf_model(database, core::Objective::kPerformance),
-      cost_model(database, core::Objective::kCost) {}
+    : database(std::move(db)), ranking(std::move(rank)) {
+  // A snapshot whose models cannot be trained (empty or degenerate
+  // database) still serves: recommend falls back to the PB ranking.
+  try {
+    perf_model.emplace(database, core::Objective::kPerformance);
+    cost_model.emplace(database, core::Objective::kCost);
+  } catch (const std::exception&) {
+    perf_model.reset();
+    cost_model.reset();
+  }
+}
 
 QueryService::QueryService(core::TrainingDatabase database,
-                           core::PbRankingResult ranking) {
+                           core::PbRankingResult ranking,
+                           ServiceOptions options)
+    : options_(options) {
   auto& registry = obs::MetricsRegistry::global();
   auto verb_metrics = [&registry](const char* verb) {
     VerbMetrics m;
@@ -162,14 +201,22 @@ QueryService::QueryService(core::TrainingDatabase database,
   recommend_metrics_ = verb_metrics("recommend");
   predict_metrics_ = verb_metrics("predict");
   rank_metrics_ = verb_metrics("rank");
+  simulate_metrics_ = verb_metrics("simulate");
   stats_metrics_ = verb_metrics("stats");
   other_metrics_ = verb_metrics("other");
   errors_ = &registry.counter("service.errors");
+  shed_ = &registry.counter("service.shed");
+  deadline_exceeded_ = &registry.counter("service.deadline_exceeded");
+  fallback_answers_ = &registry.counter("service.fallback_answers");
+  engine_build_failures_ =
+      &registry.counter("service.engine_build_failures");
 
   obs::Timer train_timer(registry.histogram("service.train_latency_us"));
   registry.counter("service.engine_builds").inc();
-  publish(std::make_shared<const Engine>(std::move(database),
-                                         std::move(ranking)));
+  auto first = std::make_shared<const Engine>(std::move(database),
+                                              std::move(ranking));
+  if (first->degraded()) engine_build_failures_->inc();
+  publish(std::move(first));
 }
 
 void QueryService::update_database(core::TrainingDatabase database) {
@@ -180,19 +227,31 @@ void QueryService::update_database(core::TrainingDatabase database) {
   // answering from the old snapshot during the (expensive) build, then
   // pick up the new one on their next request.
   const EngineRef current = engine();
-  publish(std::make_shared<const Engine>(std::move(database),
-                                         current->ranking));
+  auto next = std::make_shared<const Engine>(std::move(database),
+                                             current->ranking);
+  if (next->degraded()) {
+    engine_build_failures_->inc();
+    // A contribution batch that cannot train must not degrade a healthy
+    // service: keep the current snapshot.  (If the service was already
+    // degraded, take the new database anyway — at least the stats and
+    // fallback answers reflect it.)
+    if (!current->degraded()) return;
+  }
+  publish(std::move(next));
 }
 
 std::size_t QueryService::database_size() const {
   return engine()->database.size();
 }
 
+bool QueryService::degraded() const { return engine()->degraded(); }
+
 const QueryService::VerbMetrics& QueryService::metrics_for(
     const std::string& verb) const {
   if (verb == "recommend") return recommend_metrics_;
   if (verb == "predict") return predict_metrics_;
   if (verb == "rank") return rank_metrics_;
+  if (verb == "simulate") return simulate_metrics_;
   if (verb == "stats") return stats_metrics_;
   return other_metrics_;
 }
@@ -201,7 +260,45 @@ std::string QueryService::handle(const std::string& request_line) {
   const std::string verb = verb_of(request_line);
   const VerbMetrics& vm = metrics_for(verb);
   vm.requests->inc();
+
+  // Bounded admission: shed instead of queuing up behind slow requests.
+  // The shed path is counted but not timed — the latency histograms
+  // describe admitted work only.
+  const std::size_t running =
+      in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  struct InFlightGuard {
+    std::atomic<std::size_t>& gauge;
+    ~InFlightGuard() { gauge.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{in_flight_};
+  if (options_.max_in_flight > 0 && running > options_.max_in_flight) {
+    shed_->inc();
+    std::ostringstream os;
+    os << "shed at capacity (" << options_.max_in_flight
+       << " requests in flight); retry later\n";
+    return os.str();
+  }
+
   obs::Timer timer(*vm.latency_us);
+  const auto started = std::chrono::steady_clock::now();
+  std::string response = dispatch(verb, request_line);
+  if (options_.deadline_us > 0.0) {
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    if (elapsed_us > options_.deadline_us) {
+      deadline_exceeded_->inc();
+      std::ostringstream os;
+      os << "timeout request exceeded deadline (" << elapsed_us << "us > "
+         << options_.deadline_us << "us)\n";
+      return os.str();
+    }
+  }
+  return response;
+}
+
+std::string QueryService::dispatch(const std::string& verb,
+                                   const std::string& request_line) {
   try {
     // Pin one immutable snapshot for the whole request; a concurrent
     // update_database() cannot pull the models out from under us.
@@ -209,6 +306,7 @@ std::string QueryService::handle(const std::string& request_line) {
     if (verb == "recommend") return handle_recommend(*e, request_line);
     if (verb == "predict") return handle_predict(*e, request_line);
     if (verb == "rank") return handle_rank(*e, request_line);
+    if (verb == "simulate") return handle_simulate(request_line);
     if (verb == "stats") return handle_stats(*e);
     if (verb == "help" || verb.empty()) return help_text();
     errors_->inc();
@@ -272,13 +370,69 @@ std::string QueryService::handle_recommend(const Engine& engine,
       k_it == kv.end() ? 3 : parse_count("top_k", k_it->second);
   const auto traits = parse_workload_query(line);
 
-  const auto recs = engine.model_for(objective).recommend(traits, top_k);
+  const core::Acic* model = engine.model_for(objective);
+  if (model == nullptr) {
+    // No trained snapshot: degrade gracefully to the PB screening
+    // ranking instead of erroring out.
+    fallback_answers_->inc();
+    return fallback_recommend(engine, objective, top_k);
+  }
+  const auto recs = model->recommend(traits, top_k);
   std::ostringstream os;
   os << "ok " << recs.size() << " recommendations (objective="
      << core::to_string(objective) << ")\n";
   for (const auto& r : recs) {
     os << "  " << r.config.label() << " predicted_improvement="
        << r.predicted_improvement << "\n";
+  }
+  return os.str();
+}
+
+std::string QueryService::fallback_recommend(const Engine& engine,
+                                             core::Objective objective,
+                                             std::size_t top_k) {
+  // Score each candidate by the PB effects of its system levels: the
+  // effects are signed impacts on log(time) (positive = a higher level
+  // slows the job down), so a candidate whose high-valued dimensions
+  // carry negative effects scores well.  Workload traits play no role —
+  // this is a workload-agnostic prior, which is exactly what the paper's
+  // screening phase provides before any model exists.
+  const auto& effects = engine.ranking.effects;
+  struct Scored {
+    double score = 0.0;
+    const cloud::IoConfig* config = nullptr;
+  };
+  const auto candidates = cloud::IoConfig::enumerate_candidates();
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  io::Workload neutral;  // defaults; only system dims are scored anyway
+  for (const auto& c : candidates) {
+    const core::Point p = core::ParamSpace::encode(c, neutral);
+    double score = 0.0;
+    for (const auto& d : core::ParamSpace::dimensions()) {
+      if (!d.is_system) continue;
+      const auto dim = static_cast<std::size_t>(d.dim);
+      if (dim >= effects.size()) continue;
+      const double lo = core::ParamSpace::low(d.dim);
+      const double hi = core::ParamSpace::high(d.dim);
+      if (hi <= lo) continue;
+      // Normalise the level to [-1, 1] (the PB design's coding).
+      const double level = 2.0 * (p[dim] - lo) / (hi - lo) - 1.0;
+      score += -effects[dim] * level;
+    }
+    scored.push_back({score, &c});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  const std::size_t n = std::min(top_k, scored.size());
+  std::ostringstream os;
+  os << "ok " << n << " recommendations (objective="
+     << core::to_string(objective) << ", fallback=pb-ranking)\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << "  " << scored[i].config->label() << " pb_score="
+       << scored[i].score << "\n";
   }
   return os.str();
 }
@@ -294,12 +448,82 @@ std::string QueryService::handle_predict(const Engine& engine,
       obj_it == kv.end() ? core::Objective::kPerformance
                          : parse_objective(obj_it->second);
   const auto traits = parse_workload_query(line);
-  const double improvement =
-      engine.model_for(objective).predict(config, traits);
+  const core::Acic* model = engine.model_for(objective);
+  ACIC_CHECK_MSG(model != nullptr,
+                 "no trained model snapshot available (empty training "
+                 "database?); try recommend for a PB-ranking fallback");
+  const double improvement = model->predict(config, traits);
   std::ostringstream os;
   os << "ok predicted_improvement=" << improvement << " config="
      << config.label() << " objective=" << core::to_string(objective)
      << "\n";
+  return os.str();
+}
+
+std::string QueryService::handle_simulate(const std::string& line) {
+  const auto kv = parse_pairs(line);
+  const auto cfg_it = kv.find("config");
+  ACIC_CHECK_MSG(cfg_it != kv.end(), "simulate needs config=<label>");
+  const auto config = config_by_label(cfg_it->second);
+  const auto traits = parse_workload_query(line);
+
+  io::RunOptions opts;
+  const auto get = [&kv](const char* key) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? static_cast<const std::string*>(nullptr)
+                          : &it->second;
+  };
+  if (const auto* v = get("seed")) opts.seed = parse_count("seed", *v);
+  if (const auto* v = get("failures")) {
+    opts.fault_model.outages_per_hour = parse_nonneg_double("failures", *v);
+  }
+  if (const auto* v = get("brownouts")) {
+    opts.fault_model.brownouts_per_hour =
+        parse_nonneg_double("brownouts", *v);
+  }
+  if (const auto* v = get("brownout_fraction")) {
+    opts.fault_model.brownout_fraction =
+        parse_nonneg_double("brownout_fraction", *v);
+  }
+  if (const auto* v = get("stragglers")) {
+    opts.fault_model.stragglers_per_hour =
+        parse_nonneg_double("stragglers", *v);
+  }
+  if (const auto* v = get("straggler_factor")) {
+    opts.fault_model.straggler_factor =
+        parse_nonneg_double("straggler_factor", *v);
+  }
+  if (const auto* v = get("correlated")) {
+    opts.fault_model.correlated_outage_probability =
+        parse_nonneg_double("correlated", *v);
+  }
+  if (const auto* v = get("permanent")) {
+    opts.fault_model.permanent_loss_probability =
+        parse_nonneg_double("permanent", *v);
+  }
+  if (const auto* v = get("retry")) {
+    opts.tuning.retry.enabled = parse_bool(*v);
+  }
+  if (const auto* v = get("timeout")) {
+    opts.tuning.retry.request_timeout = parse_nonneg_double("timeout", *v);
+  }
+  if (const auto* v = get("attempts")) {
+    opts.tuning.retry.max_attempts =
+        parse_int_field("attempts", *v);
+  }
+  if (const auto* v = get("watchdog")) {
+    opts.watchdog_sim_time = parse_nonneg_double("watchdog", *v);
+  }
+  ACIC_CHECK_MSG(opts.fault_model.valid(), "invalid fault model");
+  ACIC_CHECK_MSG(opts.tuning.retry.valid(), "invalid retry policy");
+
+  const auto r = io::run_workload(traits, config, opts);
+  std::ostringstream os;
+  os << "ok time=" << r.total_time << " cost=" << r.cost
+     << " outcome=" << io::to_string(r.outcome) << " retries=" << r.retries
+     << " timeouts=" << r.timeouts << " failed_requests="
+     << r.failed_requests << " cancelled_fault_events="
+     << r.fault_events_cancelled << " sim_events=" << r.sim_events << "\n";
   return os.str();
 }
 
@@ -325,7 +549,8 @@ std::string QueryService::handle_stats(const Engine& engine) {
   std::ostringstream os;
   os << "ok database=" << engine.database.size() << " samples, "
      << cloud::IoConfig::enumerate_candidates().size()
-     << " candidate configs\n";
+     << " candidate configs, mode="
+     << (engine.degraded() ? "fallback" : "full") << "\n";
   os << obs::MetricsRegistry::global().snapshot().to_text("  ");
   return os.str();
 }
@@ -336,9 +561,14 @@ std::string QueryService::help_text() {
       "  recommend objective=performance|cost top_k=N <workload keys>\n"
       "  predict config=<label> objective=... <workload keys>\n"
       "  rank [top=N]\n"
+      "  simulate config=<label> <workload keys> [chaos keys]\n"
       "  stats\n"
       "  workload keys: np io_procs interface iterations data request op\n"
-      "                 collective shared (sizes like 4MiB, 256KiB)\n";
+      "                 collective shared (sizes like 4MiB, 256KiB)\n"
+      "  chaos keys: seed failures brownouts brownout_fraction stragglers\n"
+      "              straggler_factor correlated permanent retry timeout\n"
+      "              attempts watchdog (rates per hour; retry=yes arms\n"
+      "              deadline/backoff; seeded runs are reproducible)\n";
 }
 
 }  // namespace acic::service

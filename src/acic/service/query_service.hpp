@@ -10,11 +10,18 @@
 //             op=write collective=yes shared=yes
 //   predict   config=pvfs.4.D.eph <same workload keys>
 //   rank      [top=N]                     — PB dimension ranking
+//   simulate  config=<label> <workload keys> [seed= failures= brownouts=
+//             brownout_fraction= stragglers= straggler_factor= correlated=
+//             permanent= retry= timeout= attempts= watchdog=]
+//                                         — one chaos run, reproducible
 //   stats                                 — database + request metrics
 //   help
 //
 // Responses are "ok ..." / "error ..." lines followed by indented detail
-// rows, so they stay greppable and machine-parseable.
+// rows, so they stay greppable and machine-parseable.  Under graceful
+// degradation two more typed first words appear: "shed ..." (bounded
+// admission rejected the request) and "timeout ..." (the per-request
+// deadline expired) — clients can branch on the first token alone.
 //
 // Concurrency model: the service state is an immutable `Engine` snapshot
 // (training database + ranking + both trained models) behind an
@@ -30,9 +37,11 @@
 // `service.latency_us.<verb>`.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,13 +66,27 @@ std::size_t parse_count(const std::string& key, const std::string& text);
 /// throw; missing keys keep the defaults below.
 io::Workload parse_workload_query(const std::string& line);
 
+/// Graceful-degradation knobs.  Both default off, which preserves the
+/// legacy unbounded/undeadlined behaviour.
+struct ServiceOptions {
+  /// Bounded admission: requests beyond this many concurrently running
+  /// ones are answered with a typed "shed ..." line instead of queuing
+  /// (0 = unbounded).
+  std::size_t max_in_flight = 0;
+  /// Per-request compute deadline in microseconds; a request that blows
+  /// it gets a typed "timeout ..." response (0 = none).
+  double deadline_us = 0.0;
+};
+
 class QueryService {
  public:
   /// Builds the first engine snapshot: trains one model per objective
   /// eagerly so concurrent `handle()` calls never observe a half-trained
-  /// model.
-  QueryService(core::TrainingDatabase database,
-               core::PbRankingResult ranking);
+  /// model.  If training is impossible (e.g. an empty database), the
+  /// service still comes up in fallback mode: recommend answers from the
+  /// PB ranking, predict reports the model as unavailable.
+  QueryService(core::TrainingDatabase database, core::PbRankingResult ranking,
+               ServiceOptions options = {});
 
   /// Handle one protocol line; never throws — malformed input yields an
   /// "error ..." response.  Safe to call from any number of threads
@@ -86,24 +109,41 @@ class QueryService {
   /// Refresh the database snapshot (a crowdsourced contribution batch):
   /// trains a replacement engine and atomically publishes it.  In-flight
   /// requests finish on the old snapshot; it is freed when the last one
-  /// drops its reference.
+  /// drops its reference.  If the replacement cannot be trained while
+  /// the current engine has working models, the current one is kept (a
+  /// bad contribution batch must not degrade a healthy service).
   void update_database(core::TrainingDatabase database);
 
   std::size_t database_size() const;
 
+  /// Requests currently inside handle() (admission gauge; exposed so
+  /// overload tests can synchronise deterministically).
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the current snapshot answers from the PB-ranking
+  /// fallback instead of trained models.
+  bool degraded() const;
+
  private:
   /// Immutable service state; shared read-only by concurrent requests.
+  /// Models are optional: a snapshot whose training failed (empty or
+  /// corrupt database) still serves rank/stats and fallback recommends.
   struct Engine {
     Engine(core::TrainingDatabase db, core::PbRankingResult rank);
 
     core::TrainingDatabase database;
     core::PbRankingResult ranking;
-    core::Acic perf_model;
-    core::Acic cost_model;
+    std::optional<core::Acic> perf_model;
+    std::optional<core::Acic> cost_model;
 
-    const core::Acic& model_for(core::Objective objective) const {
-      return objective == core::Objective::kPerformance ? perf_model
-                                                        : cost_model;
+    bool degraded() const { return !perf_model || !cost_model; }
+    const core::Acic* model_for(core::Objective objective) const {
+      const auto& m = objective == core::Objective::kPerformance
+                          ? perf_model
+                          : cost_model;
+      return m ? &*m : nullptr;
     }
   };
   using EngineRef = std::shared_ptr<const Engine>;
@@ -121,14 +161,22 @@ class QueryService {
     engine_ = std::move(next);
   }
 
-  static std::string handle_recommend(const Engine& engine,
-                                      const std::string& line);
+  std::string handle_recommend(const Engine& engine,
+                               const std::string& line);
   static std::string handle_predict(const Engine& engine,
                                     const std::string& line);
   static std::string handle_rank(const Engine& engine,
                                  const std::string& line);
+  static std::string handle_simulate(const std::string& line);
   static std::string handle_stats(const Engine& engine);
   static std::string help_text();
+  /// PB-effects fallback: score every candidate config against the
+  /// screening effects and return the top_k (used when no model
+  /// snapshot exists).
+  static std::string fallback_recommend(const Engine& engine,
+                                        core::Objective objective,
+                                        std::size_t top_k);
+  std::string dispatch(const std::string& verb, const std::string& line);
 
   /// Per-verb instruments, resolved once at construction so the request
   /// path never takes the registry lock.
@@ -140,12 +188,19 @@ class QueryService {
 
   mutable std::mutex engine_mutex_;
   EngineRef engine_;
+  ServiceOptions options_;
+  std::atomic<std::size_t> in_flight_{0};
   VerbMetrics recommend_metrics_;
   VerbMetrics predict_metrics_;
   VerbMetrics rank_metrics_;
+  VerbMetrics simulate_metrics_;
   VerbMetrics stats_metrics_;
   VerbMetrics other_metrics_;
   obs::Counter* errors_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* fallback_answers_ = nullptr;
+  obs::Counter* engine_build_failures_ = nullptr;
 };
 
 }  // namespace acic::service

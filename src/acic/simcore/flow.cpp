@@ -109,6 +109,65 @@ Task FlowNetwork::transfer(std::vector<ResourceId> path, Bytes bytes) {
   co_await Awaiter{state.get()};
 }
 
+Task FlowNetwork::transfer_within(std::vector<ResourceId> path, Bytes bytes,
+                                  SimTime timeout, bool* completed) {
+  ACIC_EXPECTS(timeout > 0.0, "non-positive transfer timeout " << timeout);
+  ACIC_EXPECTS(completed != nullptr,
+               "transfer_within needs a completion out-param");
+  // Completion and timeout race on the event queue; whichever fires first
+  // settles the state, disarms the other, and resumes the waiter exactly
+  // once.  Both callbacks capture the shared_ptr by value, so the state
+  // outlives the coroutine frame even if the loser fires after the frame
+  // is gone (e.g. completion event and timer landing on one timestamp:
+  // the completion sweep has already queued on_complete as a separate
+  // event when the timer fires first).
+  struct TimedState {
+    bool settled = false;
+    bool flow_done = false;
+    EventId timer = 0;
+    std::coroutine_handle<> waiter;
+  };
+  auto state = std::make_shared<TimedState>();
+  const FlowId flow = start_flow(std::move(path), bytes, [this, state] {
+    if (state->settled) return;  // the timeout won this timestamp's race
+    state->settled = true;
+    state->flow_done = true;
+    if (state->timer != 0) sim_.cancel(state->timer);
+    if (state->waiter) state->waiter.resume();
+  });
+  // Safe to arm after start_flow: callbacks only fire once control
+  // returns to the event loop, so `state->timer` is always set by then.
+  state->timer = sim_.in(timeout, [this, state, flow] {
+    if (state->settled) return;  // the flow completed first
+    state->settled = true;
+    cancel_flow(flow);
+    if (state->waiter) state->waiter.resume();
+  });
+  // Raw pointer for the awaiter (trivially destructible, see task.hpp);
+  // the `state` local keeps the TimedState alive across the suspension.
+  struct Awaiter {
+    TimedState* state;
+    bool await_ready() const noexcept { return state->settled; }
+    void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
+    void await_resume() const noexcept {}
+  };
+  co_await Awaiter{state.get()};
+  *completed = state->flow_done;
+}
+
+void FlowNetwork::cancel_flow(FlowId id) {
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (it->id != id) continue;
+    advance();
+    bytes_cancelled_ += it->remaining;
+    flows_.erase(it);
+    recompute_rates();
+    schedule_next_completion();
+    return;
+  }
+  // Already completed (or never admitted, e.g. a zero-byte flow): no-op.
+}
+
 double FlowNetwork::flow_rate(FlowId id) const {
   for (const auto& f : flows_) {
     if (f.id == id) return f.rate;
@@ -239,7 +298,8 @@ void FlowNetwork::handle_completion_event(std::uint64_t generation) {
   }
   ACIC_DCHECK(bytes_conserved(),
               "flow byte conservation violated: injected="
-                  << bytes_injected_ << " delivered=" << bytes_delivered_);
+                  << bytes_injected_ << " delivered=" << bytes_delivered_
+                  << " cancelled=" << bytes_cancelled_);
   recompute_rates();
   ACIC_DCHECK(rates_feasible(), "max-min solve oversubscribed a resource");
   schedule_next_completion();
@@ -250,7 +310,7 @@ bool FlowNetwork::bytes_conserved() const {
   Bytes in_flight = 0.0;
   for (const auto& f : flows_) in_flight += f.remaining;
   const Bytes drift =
-      bytes_injected_ - (bytes_delivered_ + in_flight);
+      bytes_injected_ - (bytes_delivered_ + bytes_cancelled_ + in_flight);
   // fp noise from rate integration scales with the totals involved.
   const Bytes tolerance =
       1e-6 * std::max(1.0, bytes_injected_);

@@ -60,6 +60,21 @@ class FlowNetwork {
   /// flow completes.
   Task transfer(std::vector<ResourceId> path, Bytes bytes);
 
+  /// Deadline-bounded transfer: suspends until the flow completes or
+  /// `timeout` seconds elapse, whichever comes first.  On timeout the
+  /// flow is cancelled (its undelivered bytes are abandoned, see
+  /// `bytes_cancelled()`) and `*completed` is set false; on completion
+  /// the timer is cancelled and `*completed` is set true.  The client
+  /// observing a timed-out request maps to the paper's "lost connection
+  /// to an I/O server": the payload is gone and must be re-sent.
+  Task transfer_within(std::vector<ResourceId> path, Bytes bytes,
+                       SimTime timeout, bool* completed);
+
+  /// Abort an active flow: its remaining bytes are dropped (credited to
+  /// `bytes_cancelled()`), rates are re-solved, and its on_complete never
+  /// fires.  Harmless no-op if the flow already finished.
+  void cancel_flow(FlowId id);
+
   std::size_t active_flows() const { return flows_.size(); }
 
   /// Current allocated rate of an active flow (0 if unknown/finished).
@@ -70,6 +85,9 @@ class FlowNetwork {
 
   /// Cumulative bytes injected by start_flow()/transfer() since creation.
   Bytes bytes_injected() const { return bytes_injected_; }
+
+  /// Cumulative undelivered bytes abandoned by cancel_flow().
+  Bytes bytes_cancelled() const { return bytes_cancelled_; }
 
  private:
   struct Flow {
@@ -84,8 +102,9 @@ class FlowNetwork {
   void advance();
   /// Re-solve max-min fair sharing (progressive filling).
   void recompute_rates();
-  /// Byte conservation: injected == delivered + in-flight (within fp
-  /// noise).  Backs an ACIC_DCHECK after every completion sweep.
+  /// Byte conservation: injected == delivered + cancelled + in-flight
+  /// (within fp noise).  Backs an ACIC_DCHECK after every completion
+  /// sweep.
   bool bytes_conserved() const;
   /// Allocation feasibility: no resource carries more than its capacity.
   bool rates_feasible() const;
@@ -105,6 +124,7 @@ class FlowNetwork {
   FlowId next_flow_id_ = 1;
   Bytes bytes_delivered_ = 0.0;
   Bytes bytes_injected_ = 0.0;
+  Bytes bytes_cancelled_ = 0.0;
 };
 
 }  // namespace acic::sim

@@ -98,6 +98,29 @@ void Simulator::run_until_processes_done() {
                  "(deadlock)");
 }
 
+bool Simulator::run_until_processes_done_or(SimTime deadline) {
+  ACIC_EXPECTS(deadline >= now_, "watchdog deadline " << deadline
+                                                      << " is already past ("
+                                                      << now_ << ")");
+  while (!all_processes_done()) {
+    // Drop cancelled events at the head so the deadline check sees the
+    // event that would actually fire (step() skips them lazily, which
+    // could otherwise fire a live event past the deadline in one call).
+    while (!queue_.empty()) {
+      const auto it =
+          std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+    if (queue_.empty()) break;             // stalled: nothing left to fire
+    if (queue_.top().t > deadline) break;  // watchdog: out of simulated time
+    step();
+  }
+  check_spawned_exceptions();
+  return all_processes_done();
+}
+
 void Simulator::run_until(SimTime deadline) {
   ACIC_EXPECTS(deadline >= now_, "run_until(" << deadline
                                               << ") would rewind the clock from "

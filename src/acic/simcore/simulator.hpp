@@ -61,6 +61,15 @@ class Simulator {
   /// Throws if any process terminated with an exception.
   void run_until_processes_done();
 
+  /// Watchdog variant: run until every process has finished, the queue
+  /// drains, or the next event lies past `deadline` — whichever comes
+  /// first.  Returns true iff all processes finished.  Unlike
+  /// run_until_processes_done(), a stalled cluster (capacity permanently
+  /// zero, drained queue) is reported, not thrown: the caller decides how
+  /// to grade the outcome.  Exceptions from spawned processes still
+  /// propagate.
+  bool run_until_processes_done_or(SimTime deadline);
+
   /// Run until `deadline` (events after it stay queued).
   void run_until(SimTime deadline);
 

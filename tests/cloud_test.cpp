@@ -250,5 +250,213 @@ TEST(FailureInjectorTest, RandomOutagesAreSeeded) {
   s.run();  // all suppress/restore pairs must balance without throwing
 }
 
+IoConfig chaos_config(int servers = 1) {
+  IoConfig cfg;
+  cfg.fs = FileSystemType::kPvfs2;
+  cfg.io_servers = servers;
+  cfg.placement = Placement::kDedicated;
+  cfg.device = storage::DeviceType::kEphemeral;
+  cfg.stripe_size = 1.0 * MiB;
+  return cfg;
+}
+
+/// Time for a 100 MiB write on server 0 of a fault-free cluster.
+SimTime clean_write_time(const IoConfig& cfg, int np = 16) {
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(np, cfg));
+  SimTime done = -1;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { done = s.now(); });
+  s.run();
+  return done;
+}
+
+TEST(FailureInjectorTest, BrownoutSlowsButDoesNotStall) {
+  const auto cfg = chaos_config();
+  const SimTime clean = clean_write_time(cfg);
+
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(16, cfg));
+  FailureInjector inj(cluster);
+  SimTime done = -1;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { done = s.now(); });
+  FaultSpec spec;
+  spec.kind = FaultKind::kBrownout;
+  spec.server = 0;
+  spec.at = 0.0;
+  spec.duration = 1000.0;  // covers the whole transfer
+  spec.fraction = 0.5;
+  inj.inject(spec);
+  s.run();
+  // Degraded capacity: strictly slower than clean, but it *finishes*
+  // inside the window — a brownout is interference, not an outage.
+  EXPECT_GT(done, clean * 1.2);
+  EXPECT_LT(done, 1000.0);
+}
+
+TEST(FailureInjectorTest, StragglerSlowsTheDevice) {
+  const auto cfg = chaos_config();
+  const SimTime clean = clean_write_time(cfg);
+
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(16, cfg));
+  FailureInjector inj(cluster);
+  SimTime done = -1;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { done = s.now(); });
+  FaultSpec spec;
+  spec.kind = FaultKind::kStraggler;
+  spec.server = 0;
+  spec.at = 0.0;
+  spec.duration = 4000.0;
+  spec.fraction = 0.25;
+  inj.inject(spec);
+  s.run();
+  EXPECT_GT(done, clean * 1.5);  // a slow disk, not a dead one
+  EXPECT_LT(done, 4000.0);
+}
+
+TEST(FailureInjectorTest, CorrelatedOutageStallsEveryServer) {
+  const auto cfg = chaos_config(4);
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(32, cfg));
+  FailureInjector inj(cluster);
+
+  std::vector<SimTime> clean(4, -1.0);
+  {
+    sim::Simulator s2;
+    ClusterModel c2(s2, opts(32, cfg));
+    for (int srv = 0; srv < 4; ++srv) {
+      c2.network().start_flow(c2.write_path(0, srv), 50.0 * MiB,
+                              [&clean, srv, &s2] { clean[srv] = s2.now(); });
+    }
+    s2.run();
+  }
+
+  std::vector<SimTime> done(4, -1.0);
+  for (int srv = 0; srv < 4; ++srv) {
+    cluster.network().start_flow(cluster.write_path(0, srv), 50.0 * MiB,
+                                 [&done, srv, &s] { done[srv] = s.now(); });
+  }
+  inj.inject_correlated(/*at=*/0.05, /*duration=*/10.0);
+  s.run();
+  for (int srv = 0; srv < 4; ++srv) {
+    EXPECT_NEAR(done[srv], clean[srv] + 10.0, 0.1) << "server " << srv;
+  }
+}
+
+TEST(FailureInjectorTest, PermanentLossNeverRestores) {
+  const auto cfg = chaos_config();
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(16, cfg));
+  FailureInjector inj(cluster);
+  bool completed = false;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { completed = true; });
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanentLoss;
+  spec.server = 0;
+  spec.at = 0.01;
+  inj.inject(spec);
+  s.run();  // queue drains; the flow is stuck at rate zero forever
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(cluster.network().active_flows(), 1u);
+  EXPECT_DOUBLE_EQ(
+      cluster.network().capacity(cluster.device_write_resource(0)), 0.0);
+}
+
+// The tentpole regression: arbitrarily overlapped faults of every kind
+// must hand back the *exact* original capacity — including the jittered
+// capacities ClusterModel sets up — because effective capacity is always
+// recomputed from the stored original, never patched incrementally.
+TEST(FailureInjectorTest, OverlappingFaultsRestoreExactJitteredCapacity) {
+  sim::Simulator s;
+  auto o = opts(16, chaos_config());
+  o.jitter_sigma = 0.1;  // non-round capacities: catch additive restore
+  o.seed = 42;
+  ClusterModel cluster(s, o);
+  const auto dev_w = cluster.device_write_resource(0);
+  const auto dev_r = cluster.device_read_resource(0);
+  const auto nic = cluster.nic_tx(cluster.instance_of_server(0));
+  const double orig_w = cluster.network().capacity(dev_w);
+  const double orig_r = cluster.network().capacity(dev_r);
+  const double orig_nic = cluster.network().capacity(nic);
+
+  FailureInjector inj(cluster);
+  // Overlap outages, brownouts and a straggler on the same server, with
+  // staggered windows: [1,11] outage, [5,25] outage, [3,30] brownout,
+  // [2,40] straggler, plus a NIC outage [4,12].
+  FaultSpec f;
+  f.server = 0;
+  f.kind = FaultKind::kOutage;
+  f.at = 1.0;
+  f.duration = 10.0;
+  inj.inject(f);
+  f.at = 5.0;
+  f.duration = 20.0;
+  inj.inject(f);
+  f.kind = FaultKind::kBrownout;
+  f.at = 3.0;
+  f.duration = 27.0;
+  f.fraction = 0.5;
+  inj.inject(f);
+  f.kind = FaultKind::kStraggler;
+  f.at = 2.0;
+  f.duration = 38.0;
+  f.fraction = 0.3;
+  inj.inject(f);
+  f.kind = FaultKind::kOutage;
+  f.at = 4.0;
+  f.duration = 8.0;
+  f.hit_nic = true;
+  inj.inject(f);
+
+  s.run_until(20.0);
+  // Mid-overlap the device is still suppressed by the second outage.
+  EXPECT_DOUBLE_EQ(cluster.network().capacity(dev_w), 0.0);
+
+  s.run();
+  // Bit-exact restores, not EXPECT_NEAR: the restore path must reproduce
+  // the jittered originals exactly.
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig_w);
+  EXPECT_EQ(cluster.network().capacity(dev_r), orig_r);
+  EXPECT_EQ(cluster.network().capacity(nic), orig_nic);
+}
+
+TEST(FailureInjectorTest, CancelPendingRestoresAndSilencesTheSchedule) {
+  sim::Simulator s;
+  auto o = opts(16, chaos_config());
+  o.jitter_sigma = 0.08;
+  o.seed = 5;
+  ClusterModel cluster(s, o);
+  const auto dev_w = cluster.device_write_resource(0);
+  const double orig = cluster.network().capacity(dev_w);
+
+  FailureInjector inj(cluster);
+  FaultSpec f;
+  f.server = 0;
+  f.at = 5.0;
+  f.duration = 10.0;  // active at t=7
+  inj.inject(f);
+  f.at = 50.0;  // entirely in the future at t=7
+  inj.inject(f);
+
+  s.run_until(7.0);
+  EXPECT_DOUBLE_EQ(cluster.network().capacity(dev_w), 0.0);
+
+  // Job "finished" at t=7: cancel the restore of the active outage plus
+  // both events of the future one, and force-restore the capacity.
+  const std::size_t cancelled = inj.cancel_pending();
+  EXPECT_GE(cancelled, 3u);
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig);
+
+  // Nothing fires later: the capacity stays at its exact original.
+  const auto executed_before = s.events_executed();
+  s.run();
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig);
+  EXPECT_EQ(s.events_executed(), executed_before);
+}
+
 }  // namespace
 }  // namespace acic::cloud

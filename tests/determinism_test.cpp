@@ -56,6 +56,13 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.fs_requests, b.fs_requests);
   EXPECT_EQ(a.fs_bytes, b.fs_bytes);
   EXPECT_EQ(a.sim_events, b.sim_events);
+  // The fault-reaction statistics must replay too.
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.stalled_time, b.stalled_time);
+  EXPECT_EQ(a.fault_events_cancelled, b.fault_events_cancelled);
 }
 
 TEST(DeterminismTest, IdenticalRunsAreBitIdenticalOnNfs) {
@@ -80,6 +87,31 @@ TEST(DeterminismTest, IdenticalRunsAreBitIdenticalOnPvfs2) {
   const RunResult second =
       run_workload(probe_workload(), pvfs_config(), options);
   expect_bit_identical(first, second);
+}
+
+// Seeded chaos — the full fault vocabulary plus client retries — must
+// replay bit-for-bit: the resilient training sweeps record these runs in
+// the shared database, so any nondeterminism would corrupt it silently.
+TEST(DeterminismTest, SeededChaosRunsReplayBitIdentical) {
+  RunOptions options;
+  options.seed = 77;
+  options.jitter_sigma = 0.06;
+  options.fault_model.outages_per_hour = 30.0;
+  options.fault_model.brownouts_per_hour = 20.0;
+  options.fault_model.stragglers_per_hour = 10.0;
+  options.fault_model.correlated_outage_probability = 0.1;
+  options.fault_model.permanent_loss_probability = 0.05;
+  options.tuning.retry.enabled = true;
+  options.tuning.retry.request_timeout = 5.0;
+  options.tuning.retry.max_attempts = 3;
+  const RunResult first =
+      run_workload(probe_workload(), pvfs_config(), options);
+  const RunResult second =
+      run_workload(probe_workload(), pvfs_config(), options);
+  expect_bit_identical(first, second);
+  // Non-vacuity: the 24 h fault schedule extends far past the job, so
+  // cancel_pending() must have had events to cancel.
+  EXPECT_GT(first.fault_events_cancelled, 0u);
 }
 
 TEST(DeterminismTest, SeedChangesTheOutcome) {

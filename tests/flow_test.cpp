@@ -182,6 +182,109 @@ TEST(FlowNetwork, CoroutineTransferAwaitsCompletion) {
   EXPECT_NEAR(done_at, 2.5, 1e-9);
 }
 
+TEST(FlowNetwork, CancelFlowDropsRemainingBytes) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  bool completed = false;
+  const FlowId id = net.start_flow({link}, 1000.0, [&] { completed = true; });
+  s.at(5.0, [&] { net.cancel_flow(id); });
+  s.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(net.active_flows(), 0u);
+  // 500 B moved before the cancel; the other 500 were abandoned.
+  EXPECT_NEAR(net.bytes_delivered(), 500.0, 1e-6);
+  EXPECT_NEAR(net.bytes_cancelled(), 500.0, 1e-6);
+  // Cancelling again (or an unknown flow) is a harmless no-op.
+  net.cancel_flow(id);
+  net.cancel_flow(12345);
+  EXPECT_NEAR(net.bytes_cancelled(), 500.0, 1e-6);
+}
+
+TEST(FlowNetwork, CancelFreesCapacityForSurvivors) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  SimTime done = -1;
+  net.start_flow({link}, 1000.0, [&] { done = s.now(); });
+  const FlowId hog = net.start_flow({link}, 1e9, nullptr);
+  s.at(10.0, [&] { net.cancel_flow(hog); });
+  s.run();
+  // Shared 50 B/s for 10 s (500 B), then alone at 100 B/s for the rest.
+  EXPECT_NEAR(done, 15.0, 1e-9);
+}
+
+Task timed_transfer(FlowNetwork& net, std::vector<ResourceId> path,
+                    Bytes bytes, SimTime timeout, bool* completed,
+                    Simulator& s, SimTime* finished_at) {
+  co_await net.transfer_within(std::move(path), bytes, timeout, completed);
+  *finished_at = s.now();
+}
+
+TEST(FlowNetwork, TransferWithinCompletesAndCancelsTheTimer) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  bool completed = false;
+  SimTime finished = -1;
+  s.spawn(timed_transfer(net, {link}, 250.0, /*timeout=*/60.0, &completed,
+                         s, &finished));
+  s.run();
+  EXPECT_TRUE(completed);
+  EXPECT_NEAR(finished, 2.5, 1e-9);
+  // The timeout timer must be cancelled on completion: the queue drains
+  // at the completion time, not at t=60.
+  EXPECT_NEAR(s.now(), 2.5, 1e-9);
+}
+
+TEST(FlowNetwork, TransferWithinTimesOutAndAbandonsTheFlow) {
+  Simulator s;
+  FlowNetwork net(s);
+  const auto link = net.add_resource("link", 100.0);
+  bool completed = true;
+  SimTime finished = -1;
+  s.spawn(timed_transfer(net, {link}, 1000.0, /*timeout=*/5.0, &completed,
+                         s, &finished));
+  s.at(2.0, [&] { net.set_capacity(link, 0.0); });  // outage, never healed
+  s.run();
+  EXPECT_FALSE(completed);
+  EXPECT_NEAR(finished, 5.0, 1e-9);
+  EXPECT_EQ(net.active_flows(), 0u);  // the payload was cancelled
+  EXPECT_NEAR(net.bytes_delivered(), 200.0, 1e-6);
+  EXPECT_NEAR(net.bytes_cancelled(), 800.0, 1e-6);
+}
+
+TEST(FlowNetwork, ConservationHoldsWithCancellations) {
+  Simulator s;
+  FlowNetwork net(s);
+  Rng rng(7);
+  const auto a = net.add_resource("a", 90.0);
+  const auto b = net.add_resource("b", 60.0);
+  Bytes injected = 0.0;
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 30; ++i) {
+    const Bytes bytes = 50.0 + rng.uniform() * 3000.0;
+    injected += bytes;
+    std::vector<ResourceId> path =
+        i % 2 == 0 ? std::vector<ResourceId>{a} : std::vector<ResourceId>{a, b};
+    s.at(rng.uniform() * 10.0, [&net, &ids, path, bytes]() mutable {
+      ids.push_back(net.start_flow(std::move(path), bytes, nullptr));
+    });
+  }
+  // Cancel a scattering of flows mid-stream (whatever is active then).
+  for (const SimTime when : {4.0, 9.0, 14.0}) {
+    s.at(when, [&net, &ids] {
+      for (std::size_t i = 0; i < ids.size(); i += 3) net.cancel_flow(ids[i]);
+    });
+  }
+  s.run();
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_GT(net.bytes_cancelled(), 0.0);
+  // Conservation with the cancelled term included.
+  EXPECT_NEAR(net.bytes_delivered() + net.bytes_cancelled(), injected,
+              1e-6 * injected);
+}
+
 // Property: total goodput through a single resource never exceeds its
 // capacity, and all bytes are delivered, for random flow sets.
 class FlowConservationTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -335,6 +335,145 @@ TEST(QueryServiceConcurrency, HandleRacesUpdateDatabaseCleanly) {
                              double(requests.size()));
 }
 
+// --- Graceful degradation -----------------------------------------------
+
+TEST(ServiceDegradation, EmptyDatabaseComesUpInFallbackMode) {
+  QueryService svc(core::TrainingDatabase{}, synthetic_ranking());
+  EXPECT_TRUE(svc.degraded());
+  const auto stats = svc.handle("stats");
+  EXPECT_NE(stats.find("mode=fallback"), std::string::npos) << stats;
+
+  // recommend degrades to the PB-ranking prior instead of erroring.
+  const auto rec = svc.handle(
+      "recommend objective=performance top_k=3 np=64 data=4MiB op=write");
+  EXPECT_EQ(rec.rfind("ok", 0), 0u) << rec;
+  EXPECT_NE(rec.find("fallback=pb-ranking"), std::string::npos) << rec;
+
+  // predict has no fallback semantics: a typed error naming the cause.
+  const auto pred = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=4MiB op=write");
+  EXPECT_EQ(pred.rfind("error", 0), 0u) << pred;
+  EXPECT_NE(pred.find("no trained model"), std::string::npos) << pred;
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* fallback = snap.counter("service.fallback_answers");
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_GT(*fallback, 0.0);
+  const auto* failures = snap.counter("service.engine_build_failures");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_GT(*failures, 0.0);
+}
+
+TEST(ServiceDegradation, UpdateRecoversFromFallbackButNeverRegresses) {
+  QueryService svc(core::TrainingDatabase{}, synthetic_ranking());
+  EXPECT_TRUE(svc.degraded());
+  svc.update_database(synthetic_db());
+  EXPECT_FALSE(svc.degraded());
+  const auto pred = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write");
+  EXPECT_EQ(pred.rfind("ok predicted_improvement=", 0), 0u) << pred;
+
+  // A contribution batch that cannot train must not pull a healthy
+  // service back into fallback mode: the old snapshot is kept.
+  svc.update_database(core::TrainingDatabase{});
+  EXPECT_FALSE(svc.degraded());
+  EXPECT_EQ(svc.database_size(), synthetic_db().size());
+}
+
+TEST(ServiceDegradation, BoundedAdmissionShedsWithTypedResponse) {
+  ServiceOptions options;
+  options.max_in_flight = 1;
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+
+  // Occupy the only admission slot with a genuinely slow request (a
+  // whole chaos simulation), then probe from this thread.
+  std::thread slow([&] {
+    const auto resp = svc.handle(
+        "simulate config=pvfs.4.D.eph.4M np=64 io_procs=64 data=64MiB "
+        "request=4MiB op=write seed=5");
+    EXPECT_EQ(resp.rfind("ok", 0), 0u) << resp;
+  });
+  while (svc.in_flight() < 1) std::this_thread::yield();
+  const auto shed = svc.handle("rank top=1");
+  slow.join();
+
+  EXPECT_EQ(shed.rfind("shed", 0), 0u) << shed;
+  EXPECT_NE(shed.find("retry later"), std::string::npos) << shed;
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* count = snap.counter("service.shed");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(*count, 0.0);
+  // The gauge drains once everything returned.
+  EXPECT_EQ(svc.in_flight(), 0u);
+}
+
+TEST(ServiceDegradation, DeadlineExceededGetsTypedTimeout) {
+  ServiceOptions options;
+  options.deadline_us = 1e-3;  // one nanosecond: every request blows it
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+  const auto resp = svc.handle("rank top=1");
+  EXPECT_EQ(resp.rfind("timeout", 0), 0u) << resp;
+  EXPECT_NE(resp.find("deadline"), std::string::npos) << resp;
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* count = snap.counter("service.deadline_exceeded");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(*count, 0.0);
+}
+
+TEST(ServiceDegradation, SimulateVerbRunsSeededChaos) {
+  auto svc = make_service();
+  const auto resp = svc.handle(
+      "simulate config=nfs.D.ebs np=16 io_procs=16 data=8MiB request=1MiB "
+      "op=write seed=7 failures=60 brownouts=30 retry=yes timeout=5 "
+      "attempts=3");
+  EXPECT_EQ(resp.rfind("ok time=", 0), 0u) << resp;
+  EXPECT_NE(resp.find("outcome="), std::string::npos) << resp;
+  EXPECT_NE(resp.find("retries="), std::string::npos) << resp;
+  // Same seed, same chaos: the simulate verb is reproducible.
+  const auto again = svc.handle(
+      "simulate config=nfs.D.ebs np=16 io_procs=16 data=8MiB request=1MiB "
+      "op=write seed=7 failures=60 brownouts=30 retry=yes timeout=5 "
+      "attempts=3");
+  EXPECT_EQ(resp, again);
+  // Bad knobs are typed errors, not crashes.
+  const auto bad = svc.handle(
+      "simulate config=nfs.D.ebs brownouts=5 brownout_fraction=2.0");
+  EXPECT_EQ(bad.rfind("error", 0), 0u) << bad;
+}
+
+// Run under the tsan preset: concurrent hammering against a tiny
+// admission bound must produce only typed responses, race-free counters,
+// and a gauge that drains back to zero.
+TEST(ServiceDegradation, ConcurrentSheddingIsCleanAndGaugeDrains) {
+  ServiceOptions options;
+  options.max_in_flight = 2;
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> shed{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto r = svc.handle("rank top=2");
+        if (r.rfind("shed", 0) == 0) {
+          shed.fetch_add(1);
+        } else if (r.rfind("ok", 0) == 0) {
+          answered.fetch_add(1);
+        } else {
+          ADD_FAILURE() << r;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(shed.load() + answered.load(), kThreads * kPerThread);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(svc.in_flight(), 0u);
+}
+
 TEST(QueryServiceConcurrency, BatchesRaceSwapsCleanly) {
   auto svc = make_service();
   std::vector<std::string> batch;
