@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "acic/common/csv.hpp"
 #include "acic/common/error.hpp"
 #include "acic/common/stats.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 
 namespace acic::benchsup {
@@ -18,10 +20,35 @@ namespace {
 
 constexpr std::uint64_t kMeasureSeed = 42;
 
+/// Bench artifact directory.  ACIC_CACHE_DIR wins when set; the default
+/// is an absolute path under the system temp directory — the old
+/// cwd-relative "acic_bench_cache" sprayed a fresh cache into whatever
+/// directory each bench happened to be launched from.
 std::filesystem::path cache_dir() {
-  const std::filesystem::path dir = "acic_bench_cache";
-  std::filesystem::create_directories(dir);
+  static const std::filesystem::path dir = [] {
+    std::filesystem::path d;
+    if (const char* env = std::getenv("ACIC_CACHE_DIR"); env && *env) {
+      d = std::filesystem::absolute(env);
+    } else {
+      d = std::filesystem::temp_directory_path() / "acic_bench_cache";
+    }
+    std::filesystem::create_directories(d);
+    return d;
+  }();
   return dir;
+}
+
+/// The bench executor: the process-wide engine with its persistent tier
+/// armed at the bench cache directory, so raw simulation results survive
+/// across bench binaries (Executor::global() already armed it when the
+/// user exported ACIC_CACHE_DIR; arm_store is idempotent).
+exec::Executor& bench_executor() {
+  static exec::Executor& engine = []() -> exec::Executor& {
+    auto& e = exec::Executor::global();
+    e.arm_store((cache_dir() / "runs").string());
+    return e;
+  }();
+  return engine;
 }
 
 io::RunOptions measure_opts(std::uint64_t salt) {
@@ -48,15 +75,11 @@ std::string app_key(const std::string& app, int scale) {
 }
 
 Measurement measure(const apps::AppRun& run, const cloud::IoConfig& config) {
-  const auto& gt = ground_truth();
-  const auto it = gt.find(app_key(run.app, run.scale));
-  if (it != gt.end()) {
-    for (const auto& m : it->second) {
-      if (m.label == config.label()) return m;
-    }
-  }
-  const auto r = io::run_workload(run.workload, config,
-                                  measure_opts(label_salt(config.label())));
+  // No by-label scan of the ground-truth table needed: the engine's
+  // canonical key makes a repeated measurement a cache hit, including
+  // the 9x56 grid warmed by ground_truth().
+  const auto r = bench_executor().run(exec::RunRequest{
+      run.workload, config, measure_opts(label_salt(config.label()))});
   return Measurement{config.label(), r.total_time, r.cost};
 }
 
@@ -64,43 +87,28 @@ const std::map<std::string, std::vector<Measurement>>& ground_truth() {
   static std::map<std::string, std::vector<Measurement>> cache;
   static std::once_flag once;
   std::call_once(once, [] {
-    const auto path = cache_dir() / "ground_truth.csv";
-    if (std::filesystem::exists(path)) {
-      const auto table = read_csv_file(path.string());
-      for (const auto& row : table.rows) {
-        cache[row[0]].push_back(
-            Measurement{row[1], std::stod(row[2]), std::stod(row[3])});
-      }
-      std::fprintf(stderr, "[bench] ground truth loaded from %s\n",
-                   path.string().c_str());
-      return;
-    }
+    // The old hand-rolled ground_truth.csv is gone: the 504-cell grid is
+    // one deduplicating batch against the engine, and the persistent run
+    // store under cache_dir() is what makes the second bench process
+    // load instead of simulate.
     std::fprintf(stderr,
                  "[bench] measuring ground truth (9 app runs x 56 candidate"
                  " configs)...\n");
     const auto candidates = cloud::IoConfig::enumerate_candidates();
+    std::vector<exec::RunRequest> requests;
+    std::vector<std::pair<std::string, std::string>> cells;  // app, label
     for (const auto& run : apps::evaluation_suite()) {
-      auto& list = cache[app_key(run.app, run.scale)];
       for (const auto& cfg : candidates) {
-        const auto r = io::run_workload(
-            run.workload, cfg, measure_opts(label_salt(cfg.label())));
-        list.push_back(Measurement{cfg.label(), r.total_time, r.cost});
+        requests.push_back(exec::RunRequest{
+            run.workload, cfg, measure_opts(label_salt(cfg.label()))});
+        cells.emplace_back(app_key(run.app, run.scale), cfg.label());
       }
     }
-    CsvTable table;
-    table.header = {"app", "config", "time_s", "cost_usd"};
-    char buf[64];
-    for (const auto& [key, list] : cache) {
-      for (const auto& m : list) {
-        std::vector<std::string> row = {key, m.label};
-        std::snprintf(buf, sizeof(buf), "%.17g", m.time);
-        row.emplace_back(buf);
-        std::snprintf(buf, sizeof(buf), "%.17g", m.cost);
-        row.emplace_back(buf);
-        table.rows.push_back(std::move(row));
-      }
+    const auto results = bench_executor().run_batch(requests);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      cache[cells[i].first].push_back(Measurement{
+          cells[i].second, results[i].total_time, results[i].cost});
     }
-    write_csv_file(path.string(), table);
   });
   return cache;
 }

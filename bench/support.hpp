@@ -3,9 +3,13 @@
 // Several figures need the same expensive artifacts: the exhaustive
 // ground-truth measurement of all 9 application runs under all 56
 // candidate configurations, the 32-run PB screening, and a bootstrapped
-// training database.  Each binary computes them on first use and caches
-// them as CSV under ./acic_bench_cache/ so the full bench suite stays
-// fast and mutually consistent.
+// training database.  Raw simulation results go through the execution
+// engine (exec::Executor) whose persistent run store lives in the bench
+// cache directory; higher-level artifacts (PB response, training
+// databases) are cached there as CSV.  The directory is ACIC_CACHE_DIR
+// when set, else an absolute path under the system temp directory — so
+// every bench binary shares one cache no matter where it is launched
+// from.
 #pragma once
 
 #include <map>

@@ -14,11 +14,14 @@
 #include "acic/common/table.hpp"
 #include "acic/core/predictor.hpp"
 #include "acic/core/ranking.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 
 namespace {
 
-// Measured time of the top recommendation for MADbench2-64.
+// Measured time of the top recommendation for MADbench2-64.  Through the
+// engine: batches that re-recommend the same config re-use the
+// measurement.
 double measured_pick_time(const acic::core::TrainingDatabase& db) {
   using namespace acic;
   const auto traits = apps::madbench2(64);
@@ -26,7 +29,9 @@ double measured_pick_time(const acic::core::TrainingDatabase& db) {
   const auto recs = acic_model.recommend(traits, 1);
   io::RunOptions opts;
   opts.seed = 3;
-  return io::run_workload(traits, recs.front().config, opts).total_time;
+  return exec::Executor::global()
+      .run(exec::RunRequest{traits, recs.front().config, opts})
+      .total_time;
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "acic/common/table.hpp"
 #include "acic/core/ranking.hpp"
 #include "acic/core/walker.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 
 int main() {
@@ -30,17 +31,17 @@ int main() {
     for (auto objective :
          {core::Objective::kPerformance, core::Objective::kCost}) {
       // Probe = run an mpiBLAST-shaped job on the candidate; the walker
-      // pays for each probe, so fewer probes = cheaper tuning.
-      auto probe = [&](const cloud::IoConfig& cfg) {
-        io::RunOptions opts;
-        opts.seed = 13;
-        const auto r = io::run_workload(traits, cfg, opts);
-        return objective == core::Objective::kPerformance ? r.total_time
-                                                          : r.cost;
-      };
+      // pays for each *fresh* probe, so the engine-backed probe (keyed
+      // by canonical RunKey) makes the cost walk reuse everything the
+      // performance walk already simulated.
+      core::SpaceWalker::ExecProbe probe;
+      probe.workload = traits;
+      probe.options.seed = 13;
+      probe.objective = objective;
       const auto walk =
           core::SpaceWalker::walk_converged(probe, order, /*max_passes=*/3);
-      const auto final_run = io::run_workload(traits, walk.best);
+      const auto final_run = exec::Executor::global().run(
+          exec::RunRequest{traits, walk.best, io::RunOptions{}});
       table.add_row({std::to_string(workers), core::to_string(objective),
                      walk.best.label(), format_time(final_run.total_time),
                      format_money(final_run.cost),

@@ -9,6 +9,7 @@
 #include "acic/common/table.hpp"
 #include "acic/core/predictor.hpp"
 #include "acic/core/ranking.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 
 namespace {
@@ -16,13 +17,16 @@ namespace {
 using namespace acic;
 
 /// Measured time of the model's pick for `traits` over `candidates`.
+/// Through the engine, so before/after models picking the same config
+/// share one measurement.
 std::pair<std::string, double> pick_and_measure(
     const core::Acic& acic, const io::Workload& traits,
     const std::vector<cloud::IoConfig>& candidates) {
   const auto recs = acic.recommend(traits, 1, candidates);
   io::RunOptions o;
   o.seed = 21;
-  const auto r = io::run_workload(traits, recs.front().config, o);
+  const auto r = exec::Executor::global().run(
+      exec::RunRequest{traits, recs.front().config, o});
   return {recs.front().config.label(), r.total_time};
 }
 

@@ -8,12 +8,19 @@
 //   4. verify the recommendation by "running" MADbench2 under it.
 //
 // Build & run:  cmake --build build && ./build/examples/example_quickstart
+//
+// Every simulation routes through the execution engine: export
+// ACIC_CACHE_DIR to persist the runs, and a second invocation answers
+// the whole training sweep from cache (the `[exec]` stderr line shows
+// runs_executed=0 on a warm run).
 #include <cstdio>
 
 #include "acic/apps/apps.hpp"
 #include "acic/core/predictor.hpp"
 #include "acic/core/ranking.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
+#include "acic/obs/metrics.hpp"
 
 int main() {
   using namespace acic;
@@ -46,8 +53,11 @@ int main() {
 
   // --- 4. Verify: run BTIO under the pick and under the baseline. -----
   std::printf("[4/4] verifying on the simulated cloud...\n");
-  const auto picked = io::run_workload(traits, recs.front().config);
-  const auto base = io::run_workload(traits, cloud::IoConfig::baseline());
+  auto& engine = exec::Executor::global();
+  const auto picked = engine.run(
+      exec::RunRequest{traits, recs.front().config, io::RunOptions{}});
+  const auto base = engine.run(exec::RunRequest{
+      traits, cloud::IoConfig::baseline(), io::RunOptions{}});
   std::printf("      baseline  %-12s %8.1f s  %s\n",
               cloud::IoConfig::baseline().label().c_str(), base.total_time,
               format_money(base.cost).c_str());
@@ -55,5 +65,10 @@ int main() {
               recs.front().config.label().c_str(), picked.total_time,
               format_money(picked.cost).c_str(),
               base.total_time / picked.total_time);
+
+  auto& reg = obs::MetricsRegistry::global();
+  std::fprintf(stderr, "[exec] runs_executed=%.0f cache_hits=%.0f\n",
+               reg.counter("exec.runs_executed").value(),
+               reg.counter("exec.cache_hits").value());
   return 0;
 }

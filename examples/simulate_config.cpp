@@ -23,6 +23,13 @@
 //     --watchdog=S         job watchdog, sim seconds (auto when faulted)
 //     --seed=N             chaos seed (default 1); same seed = same run
 //     --ssd                include SSD configurations in the sweep
+//     --jobs=N             host threads for the sweep (default: hardware)
+//     --no-cache           bypass the run cache (every row re-simulated)
+//
+// The sweep goes through the execution engine: set ACIC_CACHE_DIR to
+// persist results and a re-run answers from cache instead of
+// re-simulating.  Cache statistics are printed to stderr so stdout
+// stays byte-comparable between cold and warm runs.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,7 +37,9 @@
 
 #include "acic/apps/apps.hpp"
 #include "acic/common/table.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
+#include "acic/obs/metrics.hpp"
 
 namespace {
 
@@ -45,6 +54,21 @@ io::Workload app_by_name(const std::string& name, int np) {
               "' (BTIO, FLASHIO, mpiBLAST, MADbench2)");
 }
 
+void print_exec_stats() {
+  auto& reg = obs::MetricsRegistry::global();
+  std::fprintf(stderr,
+               "[exec] runs_executed=%.0f cache_hits=%.0f memo_hits=%.0f "
+               "store_hits=%.0f dedup_collapsed=%.0f coalesced_waits=%.0f "
+               "uncacheable=%.0f\n",
+               reg.counter("exec.runs_executed").value(),
+               reg.counter("exec.cache_hits").value(),
+               reg.counter("exec.memo_hits").value(),
+               reg.counter("exec.store_hits").value(),
+               reg.counter("exec.dedup_collapsed").value(),
+               reg.counter("exec.coalesced_waits").value(),
+               reg.counter("exec.uncacheable_runs").value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +78,8 @@ int main(int argc, char** argv) {
     int np = 64;
     io::RunOptions opts;
     bool ssd = false;
+    bool no_cache = false;
+    unsigned jobs = 0;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -87,6 +113,10 @@ int main(int argc, char** argv) {
         opts.seed = std::stoull(arg.substr(7));
       } else if (arg == "--ssd") {
         ssd = true;
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+      } else if (arg == "--no-cache") {
+        no_cache = true;
       } else if (positional == 0) {
         app = arg;
         ++positional;
@@ -118,13 +148,28 @@ int main(int argc, char** argv) {
       columns.push_back("outcome");
       columns.push_back("retries");
     }
-    TextTable t(columns);
+    // The whole sweep is one deduplicating batch against the engine;
+    // --no-cache swaps in a pass-through executor (fresh simulations,
+    // nothing recorded), --jobs bounds the fan-out.
+    exec::ExecutorOptions pass_through;
+    pass_through.cache = false;
+    exec::Executor uncached(std::move(pass_through));
+    exec::Executor& engine =
+        no_cache ? uncached : exec::Executor::global();
+    std::vector<exec::RunRequest> requests;
+    requests.reserve(candidates.size());
     for (const auto& cfg : candidates) {
-      const auto r = io::run_workload(w, cfg, opts);
+      requests.push_back(exec::RunRequest{w, cfg, opts});
+    }
+    const auto results = engine.run_batch(requests, jobs, nullptr);
+
+    TextTable t(columns);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto& r = results[i];
       std::vector<std::string> row = {
-          cfg.label(), format_time(r.total_time), format_money(r.cost),
-          format_time(r.io_time), std::to_string(r.num_instances),
-          std::to_string(r.fs_requests)};
+          candidates[i].label(), format_time(r.total_time),
+          format_money(r.cost), format_time(r.io_time),
+          std::to_string(r.num_instances), std::to_string(r.fs_requests)};
       if (chaos) {
         row.push_back(io::to_string(r.outcome));
         row.push_back(std::to_string(r.retries));
@@ -135,6 +180,7 @@ int main(int argc, char** argv) {
                 app.c_str(), np, candidates.size(),
                 candidates.size() == 1 ? "" : "s");
     std::printf("%s", t.to_string().c_str());
+    print_exec_stats();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -214,7 +214,7 @@ Measurement measure_point(const io::Workload& workload,
       opts.fault_model = res.fault_model;
       opts.tuning.retry = res.retry;
       opts.watchdog_sim_time = res.watchdog_sim_time;
-      const auto r = ior::run_ior(workload, config, opts);
+      const auto r = ior::run_ior(workload, config, opts, plan.executor);
       const bool failed = r.outcome == io::RunOutcome::kFailed;
       const bool will_retry = failed && a + 1 < attempts;
       {

@@ -16,6 +16,10 @@
 #include "acic/fs/retry.hpp"
 #include "acic/ml/dataset.hpp"
 
+namespace acic::exec {
+class Executor;
+}  // namespace acic::exec
+
 namespace acic::core {
 
 enum class Objective {
@@ -121,6 +125,11 @@ struct TrainingPlan {
   /// Fault tolerance for the measurement runs (defaults = legacy
   /// single-shot protocol).
   SweepResilience resilience;
+  /// Execution engine for the measurement runs.  nullptr routes through
+  /// the process-wide exec::Executor::global(): repeated sweeps (and
+  /// sweeps overlapping walker probes or service queries) answer
+  /// already-simulated points from the run cache.
+  exec::Executor* executor = nullptr;
 };
 
 struct TrainingStats {

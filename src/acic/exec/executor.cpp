@@ -1,0 +1,242 @@
+#include "acic/exec/executor.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "acic/common/parallel.hpp"
+#include "acic/obs/metrics.hpp"
+
+namespace acic::exec {
+
+const char* to_string(RunSource source) {
+  switch (source) {
+    case RunSource::kExecuted:
+      return "executed";
+    case RunSource::kMemo:
+      return "memo";
+    case RunSource::kStore:
+      return "store";
+    case RunSource::kCoalesced:
+      return "coalesced";
+    case RunSource::kDeduped:
+      return "deduped";
+    case RunSource::kUncacheable:
+      return "uncacheable";
+  }
+  return "unknown";
+}
+
+Executor::Executor(ExecutorOptions options) : options_(std::move(options)) {
+  auto& registry = obs::MetricsRegistry::global();
+  cache_hits_ = &registry.counter("exec.cache_hits");
+  memo_hits_ = &registry.counter("exec.memo_hits");
+  store_hits_ = &registry.counter("exec.store_hits");
+  misses_ = &registry.counter("exec.cache_misses");
+  runs_executed_ = &registry.counter("exec.runs_executed");
+  coalesced_waits_ = &registry.counter("exec.coalesced_waits");
+  dedup_collapsed_ = &registry.counter("exec.dedup_collapsed");
+  uncacheable_ = &registry.counter("exec.uncacheable_runs");
+  memo_entries_ = &registry.gauge("exec.memo_entries");
+  memo_bytes_ = &registry.gauge("exec.memo_bytes");
+  store_bytes_ = &registry.gauge("exec.store_bytes");
+  if (!options_.run_fn) {
+    options_.run_fn = [](const RunRequest& r) {
+      return io::run_workload(r.workload, r.config, r.options);
+    };
+  }
+  if (options_.cache && !options_.store_dir.empty()) {
+    store_ = std::make_unique<RunStore>(options_.store_dir);
+    if (store_->quarantined() > 0) {
+      obs::MetricsRegistry::global()
+          .counter("exec.store_quarantined")
+          .add(static_cast<double>(store_->quarantined()));
+    }
+    store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
+  }
+}
+
+Executor& Executor::global() {
+  static Executor* instance = [] {
+    ExecutorOptions options;
+    if (const char* dir = std::getenv("ACIC_CACHE_DIR"); dir && *dir) {
+      options.store_dir = dir;
+    }
+    return new Executor(std::move(options));
+  }();
+  return *instance;
+}
+
+void Executor::arm_store(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!options_.cache || store_ || dir.empty()) return;
+  store_ = std::make_unique<RunStore>(dir);
+  options_.store_dir = dir;
+  if (store_->quarantined() > 0) {
+    obs::MetricsRegistry::global()
+        .counter("exec.store_quarantined")
+        .add(static_cast<double>(store_->quarantined()));
+  }
+  store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
+}
+
+bool Executor::has_store() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_ != nullptr;
+}
+
+std::size_t Executor::memo_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memo_.size();
+}
+
+io::RunResult Executor::execute(const RunRequest& request) {
+  runs_executed_->inc();
+  return options_.run_fn(request);
+}
+
+void Executor::note_memo_footprint() {
+  // Approximate: the memo holds flat structs, so entries * entry size is
+  // within a small factor of the truth (hash-table overhead excluded).
+  memo_entries_->set(static_cast<double>(memo_.size()));
+  memo_bytes_->set(static_cast<double>(
+      memo_.size() * (sizeof(RunKey) + sizeof(io::RunResult))));
+}
+
+io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
+  // A traced run's value is the trace itself; answering it from cache
+  // would silently skip the tap.  Cache-disabled executors pass through.
+  if (!options_.cache || request.options.tracer != nullptr) {
+    if (info) info->source = RunSource::kUncacheable;
+    uncacheable_->inc();
+    return options_.run_fn(request);
+  }
+
+  const RunKey key = run_key(request.workload, request.config,
+                             request.options);
+  if (info) info->key = key;
+
+  std::shared_ptr<InFlight> wait_on;
+  std::shared_ptr<InFlight> owned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      cache_hits_->inc();
+      memo_hits_->inc();
+      if (info) info->source = RunSource::kMemo;
+      return it->second;
+    }
+    if (store_) {
+      if (const auto hit = store_->lookup(key)) {
+        memo_.emplace(key, *hit);
+        note_memo_footprint();
+        cache_hits_->inc();
+        store_hits_->inc();
+        if (info) info->source = RunSource::kStore;
+        return *hit;
+      }
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      wait_on = it->second;
+    } else {
+      owned = std::make_shared<InFlight>();
+      owned->future = owned->promise.get_future().share();
+      inflight_.emplace(key, owned);
+    }
+  }
+
+  if (wait_on) {
+    // Someone else is already simulating this key: share their result
+    // (or their exception) instead of burning a second simulation.
+    coalesced_waits_->inc();
+    if (info) info->source = RunSource::kCoalesced;
+    return wait_on->future.get();
+  }
+
+  misses_->inc();
+  io::RunResult result;
+  try {
+    result = execute(request);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    owned->promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  RunStore* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Failed runs are cached *as failures*: the full result including
+    // its RunOutcome grade goes in, so a warm hit can never pass a
+    // meaningless timing off as a measurement.
+    memo_.emplace(key, result);
+    inflight_.erase(key);
+    note_memo_footprint();
+    store = store_.get();  // pin under the lock (arm_store may race)
+  }
+  if (store) {
+    store->put(key, result);
+    store_bytes_->set(static_cast<double>(store->bytes_on_disk()));
+  }
+  owned->promise.set_value(result);
+  if (info) info->source = RunSource::kExecuted;
+  return result;
+}
+
+std::vector<io::RunResult> Executor::run_batch(
+    std::span<const RunRequest> requests, std::vector<RunInfo>* infos) {
+  return run_batch(requests, options_.threads, infos);
+}
+
+std::vector<io::RunResult> Executor::run_batch(
+    std::span<const RunRequest> requests, unsigned threads,
+    std::vector<RunInfo>* infos) {
+  std::vector<io::RunResult> results(requests.size());
+  std::vector<RunInfo> local_infos(requests.size());
+
+  // Collapse duplicate keys before dispatch: the first index holding a
+  // key becomes its representative; the rest share its result below.
+  // Traced / cache-disabled requests are never collapsed (each tap must
+  // actually run).
+  std::vector<std::size_t> unique;
+  unique.reserve(requests.size());
+  std::unordered_map<RunKey, std::size_t, RunKeyHash> representative;
+  std::vector<std::size_t> duplicate_of(requests.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!options_.cache || requests[i].options.tracer != nullptr) {
+      unique.push_back(i);
+      continue;
+    }
+    const RunKey key = run_key(requests[i].workload, requests[i].config,
+                               requests[i].options);
+    local_infos[i].key = key;
+    const auto [it, inserted] = representative.emplace(key, i);
+    if (inserted) {
+      unique.push_back(i);
+    } else {
+      duplicate_of[i] = it->second;
+    }
+  }
+  const std::size_t collapsed = requests.size() - unique.size();
+  if (collapsed > 0) dedup_collapsed_->add(static_cast<double>(collapsed));
+
+  parallel_for(
+      unique.size(),
+      [&](std::size_t j) {
+        const std::size_t i = unique[j];
+        results[i] = run(requests[i], &local_infos[i]);
+      },
+      threads);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (duplicate_of[i] == SIZE_MAX) continue;
+    results[i] = results[duplicate_of[i]];
+    local_infos[i].source = RunSource::kDeduped;
+  }
+  if (infos) *infos = std::move(local_infos);
+  return results;
+}
+
+}  // namespace acic::exec

@@ -1,0 +1,152 @@
+// The unified execution engine: every consumer of "run (workload,
+// config, options) through the simulator" — training sweeps, PB
+// screening, space walking, the service's simulate verb, application
+// evaluation, the bench harnesses — routes through one Executor instead
+// of calling io::run_workload directly.
+//
+// What the engine adds over the raw primitive:
+//
+//  * canonical run identity — requests are content-addressed by RunKey
+//    (see runkey.hpp), so equivalent spellings of the same run share one
+//    simulation;
+//  * a two-tier cache — a thread-safe in-memory memo table, plus an
+//    optional persistent RunStore shared across processes (armed by
+//    ExecutorOptions::store_dir, or by the ACIC_CACHE_DIR environment
+//    variable for the process-wide executor);
+//  * a deduplicating batch scheduler — run_batch() collapses duplicate
+//    keys before dispatch and fans the unique work across parallel_for;
+//  * in-flight coalescing — two concurrent callers asking for the same
+//    key share one simulation, the second blocks on the first's future;
+//  * honest failure caching — failed runs are cached with their grade
+//    (RunOutcome::kFailed travels through both tiers), never laundered
+//    into timings;
+//  * observability — acic::obs counters for hits, misses, dedup,
+//    coalesced waits and cache footprint under the `exec.` prefix.
+//
+// Traced runs (options.tracer != nullptr) bypass the cache entirely:
+// the trace tap is a side effect a cached answer would silently skip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "acic/exec/runkey.hpp"
+#include "acic/exec/store.hpp"
+#include "acic/io/runner.hpp"
+
+namespace acic::obs {
+class Counter;
+class Gauge;
+}  // namespace acic::obs
+
+namespace acic::exec {
+
+/// One unit of work for the engine.
+struct RunRequest {
+  io::Workload workload;
+  cloud::IoConfig config;
+  io::RunOptions options;
+};
+
+/// Where a result came from (per-request provenance for callers that
+/// account probes/hits themselves, e.g. the space walker).
+enum class RunSource {
+  kExecuted,     ///< fresh simulation on this call
+  kMemo,         ///< in-memory tier hit
+  kStore,        ///< persistent tier hit
+  kCoalesced,    ///< shared a concurrent caller's in-flight simulation
+  kDeduped,      ///< duplicate key inside one run_batch
+  kUncacheable,  ///< traced or cache-disabled: executed, not recorded
+};
+
+const char* to_string(RunSource source);
+
+struct RunInfo {
+  RunSource source = RunSource::kExecuted;
+  RunKey key;
+};
+
+struct ExecutorOptions {
+  /// Master switch for both cache tiers and coalescing; false turns the
+  /// engine into a pass-through (the examples' --no-cache).
+  bool cache = true;
+  /// Non-empty arms the persistent tier at this directory.
+  std::string store_dir;
+  /// Default host-thread fan-out for run_batch (0 = hardware).
+  unsigned threads = 0;
+  /// Test seam: replaces io::run_workload as the simulation primitive.
+  std::function<io::RunResult(const RunRequest&)> run_fn;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The process-wide engine every default-configured consumer shares —
+  /// this is what makes training sweeps, walker probes and service
+  /// queries dedupe against *each other*.  Its persistent tier is armed
+  /// from the ACIC_CACHE_DIR environment variable when set.
+  static Executor& global();
+
+  /// Execute one request through the cache tiers.  Deterministic inputs
+  /// mean a hit is bit-identical to a fresh run.  Throws whatever the
+  /// underlying simulation throws (invalid workload/config).
+  io::RunResult run(const RunRequest& request, RunInfo* info = nullptr);
+
+  /// Batch scheduler: collapses duplicate keys, fans unique work across
+  /// parallel_for, and scatters results so response i answers request i.
+  /// Failed runs surface per-request via RunResult::outcome.
+  std::vector<io::RunResult> run_batch(std::span<const RunRequest> requests,
+                                       std::vector<RunInfo>* infos = nullptr);
+  std::vector<io::RunResult> run_batch(std::span<const RunRequest> requests,
+                                       unsigned threads,
+                                       std::vector<RunInfo>* infos = nullptr);
+
+  /// Arm the persistent tier at `dir` if none is armed yet (idempotent;
+  /// a second call with a different directory is ignored).
+  void arm_store(const std::string& dir);
+  bool has_store() const;
+
+  std::size_t memo_size() const;
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  struct InFlight {
+    std::promise<io::RunResult> promise;
+    std::shared_future<io::RunResult> future;
+  };
+
+  io::RunResult execute(const RunRequest& request);
+  void note_memo_footprint();
+
+  ExecutorOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<RunKey, io::RunResult, RunKeyHash> memo_;
+  std::unordered_map<RunKey, std::shared_ptr<InFlight>, RunKeyHash> inflight_;
+  std::unique_ptr<RunStore> store_;
+
+  // Process-wide instruments, resolved once so the hot path never takes
+  // the registry lock.
+  obs::Counter* cache_hits_;
+  obs::Counter* memo_hits_;
+  obs::Counter* store_hits_;
+  obs::Counter* misses_;
+  obs::Counter* runs_executed_;
+  obs::Counter* coalesced_waits_;
+  obs::Counter* dedup_collapsed_;
+  obs::Counter* uncacheable_;
+  obs::Gauge* memo_entries_;
+  obs::Gauge* memo_bytes_;
+  obs::Gauge* store_bytes_;
+};
+
+}  // namespace acic::exec

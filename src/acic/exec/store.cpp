@@ -1,0 +1,210 @@
+#include "acic/exec/store.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "acic/common/error.hpp"
+
+namespace acic::exec {
+
+namespace {
+
+// Row layout.  Doubles are written with %.17g, which round-trips every
+// finite IEEE-754 double exactly — cold and warm results stay
+// bit-identical through the CSV.  The first header cell doubles as the
+// schema version tag (it names the key column's schema generation).
+const std::string kHeader =
+    std::string(RunStore::kVersionTag) +
+    ",total_time,cost,io_time,num_instances,fs_requests,fs_bytes,"
+    "sim_events,outcome,retries,timeouts,failed_requests,stalled_time,"
+    "fault_events_cancelled";
+constexpr std::size_t kColumns = 14;
+
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_outcome(const std::string& text, io::RunOutcome& out) {
+  if (text == "ok") {
+    out = io::RunOutcome::kOk;
+  } else if (text == "degraded") {
+    out = io::RunOutcome::kDegraded;
+  } else if (text == "failed") {
+    out = io::RunOutcome::kFailed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parse and validate one data row; false = quarantine it.
+bool parse_row(const std::string& line, RunKey& key, io::RunResult& r) {
+  const auto cells = split_row(line);
+  if (cells.size() != kColumns) return false;
+  const auto parsed_key = RunKey::from_hex(cells[0]);
+  if (!parsed_key) return false;
+  key = *parsed_key;
+  std::uint64_t instances = 0;
+  if (!parse_double(cells[1], r.total_time) ||
+      !parse_double(cells[2], r.cost) ||
+      !parse_double(cells[3], r.io_time) ||
+      !parse_u64(cells[4], instances) ||
+      !parse_u64(cells[5], r.fs_requests) ||
+      !parse_double(cells[6], r.fs_bytes) ||
+      !parse_u64(cells[7], r.sim_events) ||
+      !parse_outcome(cells[8], r.outcome) ||
+      !parse_u64(cells[9], r.retries) ||
+      !parse_u64(cells[10], r.timeouts) ||
+      !parse_u64(cells[11], r.failed_requests) ||
+      !parse_double(cells[12], r.stalled_time) ||
+      !parse_u64(cells[13], r.fault_events_cancelled)) {
+    return false;
+  }
+  r.num_instances = static_cast<int>(instances);
+  if (!std::isfinite(r.total_time) || !std::isfinite(r.cost) ||
+      !std::isfinite(r.io_time) || !std::isfinite(r.fs_bytes) ||
+      !std::isfinite(r.stalled_time) || r.total_time < 0.0) {
+    return false;
+  }
+  // A row claiming a usable grade must carry a believable measurement;
+  // only rows honestly marked `failed` may hold meaningless timings.
+  if (r.outcome != io::RunOutcome::kFailed &&
+      (r.total_time <= 0.0 || r.cost <= 0.0)) {
+    return false;
+  }
+  return true;
+}
+
+std::string format_row(const RunKey& key, const io::RunResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s,%.17g,%.17g,%.17g,%d,%llu,%.17g,%llu,%s,%llu,%llu,%llu,%.17g,%llu",
+      key.hex().c_str(), r.total_time, r.cost, r.io_time, r.num_instances,
+      static_cast<unsigned long long>(r.fs_requests), r.fs_bytes,
+      static_cast<unsigned long long>(r.sim_events), io::to_string(r.outcome),
+      static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.timeouts),
+      static_cast<unsigned long long>(r.failed_requests), r.stalled_time,
+      static_cast<unsigned long long>(r.fault_events_cancelled));
+  return buf;
+}
+
+}  // namespace
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+  namespace fsys = std::filesystem;
+  fsys::create_directories(dir_);
+  runs_path_ = (fsys::path(dir_) / "runs.csv").string();
+  if (!fsys::exists(runs_path_)) return;
+
+  std::ifstream in(runs_path_);
+  if (!in) throw Error("cannot read run store " + runs_path_);
+  std::string line;
+  if (!std::getline(in, line)) return;  // empty file: treat as fresh
+  const auto header = split_row(line);
+  if (header.empty() || header[0] != kVersionTag) {
+    // Different schema generation: sideline the whole file rather than
+    // guess at its row meaning, and start fresh.
+    in.close();
+    fsys::rename(runs_path_, runs_path_ + ".incompatible");
+    return;
+  }
+
+  std::vector<std::string> bad_rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    RunKey key;
+    io::RunResult r;
+    if (parse_row(line, key, r)) {
+      rows_.emplace(key, r);
+    } else {
+      bad_rows.push_back(line);
+    }
+  }
+  in.close();
+  quarantined_ = bad_rows.size();
+  if (bad_rows.empty()) return;
+
+  // Quarantine, then rewrite runs.csv with only the survivors so the
+  // corruption is handled once, not re-reported every open.
+  std::ofstream q((fsys::path(dir_) / "quarantine.csv").string(),
+                  std::ios::app);
+  for (const auto& row : bad_rows) q << row << "\n";
+  std::ofstream out(runs_path_, std::ios::trunc);
+  if (!out) throw Error("cannot rewrite run store " + runs_path_);
+  out << kHeader << "\n";
+  for (const auto& [key, r] : rows_) out << format_row(key, r) << "\n";
+}
+
+std::optional<io::RunResult> RunStore::lookup(const RunKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RunStore::put(const RunKey& key, const io::RunResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!rows_.emplace(key, result).second) return;  // already present
+  append_row(key, result);
+}
+
+void RunStore::append_row(const RunKey& key, const io::RunResult& result) {
+  const bool fresh = !std::filesystem::exists(runs_path_);
+  std::ofstream out(runs_path_, std::ios::app);
+  if (!out) throw Error("cannot append to run store " + runs_path_);
+  if (fresh) out << kHeader << "\n";
+  out << format_row(key, result) << "\n";
+}
+
+std::size_t RunStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+std::uint64_t RunStore::bytes_on_disk() const {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(runs_path_, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+}  // namespace acic::exec

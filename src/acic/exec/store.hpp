@@ -1,0 +1,70 @@
+// Persistent tier of the execution engine's run cache: a content-
+// addressed on-disk table of finished simulation results, keyed by
+// RunKey.
+//
+// Layout (one directory per store):
+//   runs.csv        — versioned header + one row per cached run
+//   quarantine.csv  — rows that failed validation at load time, kept for
+//                     forensics instead of silently dropped
+//
+// The store is loaded whole at open (cached sweeps are thousands of rows,
+// not millions), appends one CSV line per new result, and validates
+// ruthlessly on the way in: wrong arity, non-numeric cells, unknown
+// outcome grades, and non-positive timings on rows claiming a clean
+// outcome are all quarantined — a corrupt shared cache must never
+// resurface as a believable measurement.  Failed runs are stored *with
+// their grade*, so a warm hit of a failed run is still a failure, never a
+// timing.
+//
+// Thread-safe within one process.  Concurrent *processes* appending to
+// one store directory are not coordinated; point them at separate
+// directories (the CI smoke job runs cold/warm sequentially).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "acic/exec/runkey.hpp"
+#include "acic/io/runner.hpp"
+
+namespace acic::exec {
+
+class RunStore {
+ public:
+  /// Opens (creating the directory if needed) and loads `dir`/runs.csv.
+  /// An incompatible schema version sidelines the whole file; corrupt
+  /// rows are appended to quarantine.csv and runs.csv is rewritten with
+  /// only the surviving rows.  Throws acic::Error on I/O failure.
+  explicit RunStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::optional<io::RunResult> lookup(const RunKey& key) const;
+
+  /// Insert-or-ignore: the store is content-addressed, so a key that is
+  /// already present keeps its existing (identical) row.
+  void put(const RunKey& key, const io::RunResult& result);
+
+  std::size_t size() const;
+  /// Corrupt rows sidelined while loading this store.
+  std::size_t quarantined() const { return quarantined_; }
+  /// Current size of runs.csv in bytes (0 when nothing is cached yet).
+  std::uint64_t bytes_on_disk() const;
+
+  /// First header cell of runs.csv; bump together with the RunKey schema.
+  static constexpr const char* kVersionTag = "acic_exec_store_v1";
+
+ private:
+  void append_row(const RunKey& key, const io::RunResult& result);
+
+  std::string dir_;
+  std::string runs_path_;
+  mutable std::mutex mutex_;
+  std::unordered_map<RunKey, io::RunResult, RunKeyHash> rows_;
+  std::size_t quarantined_ = 0;
+};
+
+}  // namespace acic::exec

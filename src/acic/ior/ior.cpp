@@ -1,6 +1,7 @@
 #include "acic/ior/ior.hpp"
 
 #include "acic/common/error.hpp"
+#include "acic/exec/executor.hpp"
 
 namespace acic::ior {
 
@@ -93,7 +94,8 @@ io::Workload IorBench::build() const {
 
 io::RunResult run_ior(const io::Workload& workload,
                       const cloud::IoConfig& config,
-                      const io::RunOptions& options) {
+                      const io::RunOptions& options,
+                      exec::Executor* executor, exec::RunInfo* info) {
   io::Workload w = workload;
   // IOR is a pure I/O benchmark: no application compute/comm phases.
   w.compute_per_iteration = 0.0;
@@ -109,7 +111,8 @@ io::RunResult run_ior(const io::Workload& workload,
     w.data_size *= scale;
     w.iterations = kMaxSimulatedSegments;
   }
-  return io::run_workload(w, config, options);
+  exec::Executor& engine = executor ? *executor : exec::Executor::global();
+  return engine.run(exec::RunRequest{std::move(w), config, options}, info);
 }
 
 }  // namespace acic::ior

@@ -13,6 +13,11 @@
 #include "acic/io/runner.hpp"
 #include "acic/io/workload.hpp"
 
+namespace acic::exec {
+class Executor;
+struct RunInfo;
+}  // namespace acic::exec
+
 namespace acic::ior {
 
 /// Fluent builder mirroring IOR's option names:
@@ -52,8 +57,15 @@ class IorBench {
 
 /// Execute one IOR run on a candidate configuration (the training
 /// primitive: one (config, characteristics) -> (time, cost) sample).
+///
+/// Runs route through the execution engine: `executor` when given,
+/// otherwise the process-wide exec::Executor::global() — identical runs
+/// across training sweeps, PB screening and walker probes therefore
+/// share one simulation (and its cached result).
 io::RunResult run_ior(const io::Workload& workload,
                       const cloud::IoConfig& config,
-                      const io::RunOptions& options = {});
+                      const io::RunOptions& options = {},
+                      exec::Executor* executor = nullptr,
+                      exec::RunInfo* info = nullptr);
 
 }  // namespace acic::ior

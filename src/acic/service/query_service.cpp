@@ -12,6 +12,7 @@
 
 #include "acic/common/error.hpp"
 #include "acic/common/parallel.hpp"
+#include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 
 namespace acic::service {
@@ -517,7 +518,11 @@ std::string QueryService::handle_simulate(const std::string& line) {
   ACIC_CHECK_MSG(opts.fault_model.valid(), "invalid fault model");
   ACIC_CHECK_MSG(opts.tuning.retry.valid(), "invalid retry policy");
 
-  const auto r = io::run_workload(traits, config, opts);
+  // Through the engine: a simulate verb repeated with identical
+  // parameters — or one matching a run a training sweep already did —
+  // answers from the run cache instead of burning a fresh simulation.
+  const auto r = exec::Executor::global().run(
+      exec::RunRequest{traits, config, opts});
   std::ostringstream os;
   os << "ok time=" << r.total_time << " cost=" << r.cost
      << " outcome=" << io::to_string(r.outcome) << " retries=" << r.retries
