@@ -46,6 +46,12 @@ exec::Executor& bench_executor() {
   static exec::Executor& engine = []() -> exec::Executor& {
     auto& e = exec::Executor::global();
     e.arm_store((cache_dir() / "runs").string());
+    if (e.store_degraded()) {
+      // The bench still runs — results just won't survive this process.
+      std::fprintf(stderr,
+                   "[bench] run store degraded to memo-only; raw runs will "
+                   "not be shared across bench binaries\n");
+    }
     return e;
   }();
   return engine;

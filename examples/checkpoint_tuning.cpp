@@ -20,6 +20,7 @@
 #include "acic/common/table.hpp"
 #include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
+#include "acic/obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace acic;
@@ -70,6 +71,20 @@ int main(int argc, char** argv) {
     }
   }
   const auto results = engine.run_batch(requests, jobs, nullptr);
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    std::fprintf(stderr,
+                 "[exec] runs_executed=%.0f cache_hits=%.0f "
+                 "store_degraded=%.0f\n",
+                 reg.counter("exec.runs_executed").value(),
+                 reg.counter("exec.cache_hits").value(),
+                 reg.gauge("exec.store.degraded").value());
+    if (reg.gauge("exec.store.degraded").value() != 0.0) {
+      std::fprintf(stderr,
+                   "[exec] warning: run store degraded to memo-only — this "
+                   "grid's results will not persist to ACIC_CACHE_DIR\n");
+    }
+  }
 
   TextTable table({"checkpoint", "every", "winner", "time", "runner-up x"});
   std::size_t idx = 0;

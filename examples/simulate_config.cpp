@@ -59,14 +59,20 @@ void print_exec_stats() {
   std::fprintf(stderr,
                "[exec] runs_executed=%.0f cache_hits=%.0f memo_hits=%.0f "
                "store_hits=%.0f dedup_collapsed=%.0f coalesced_waits=%.0f "
-               "uncacheable=%.0f\n",
+               "uncacheable=%.0f store_degraded=%.0f\n",
                reg.counter("exec.runs_executed").value(),
                reg.counter("exec.cache_hits").value(),
                reg.counter("exec.memo_hits").value(),
                reg.counter("exec.store_hits").value(),
                reg.counter("exec.dedup_collapsed").value(),
                reg.counter("exec.coalesced_waits").value(),
-               reg.counter("exec.uncacheable_runs").value());
+               reg.counter("exec.uncacheable_runs").value(),
+               reg.gauge("exec.store.degraded").value());
+  if (reg.gauge("exec.store.degraded").value() != 0.0) {
+    std::fprintf(stderr,
+                 "[exec] warning: run store degraded to memo-only — this "
+                 "sweep's results will not persist to ACIC_CACHE_DIR\n");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+#include "acic/common/crc32c.hpp"
+
+#include <array>
+
+namespace acic {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace acic

@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum framing
+// on-disk records in the persistent run store.  Chosen over CRC-32/zlib
+// for its better error-detection spectrum on short records; computed in
+// software (slicing not needed: store rows are a few hundred bytes and
+// written once per multi-second simulation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace acic {
+
+/// CRC32C of `data` (standard reflected algorithm, init/final xor
+/// 0xFFFFFFFF).  crc32c("123456789") == 0xE3069283.
+std::uint32_t crc32c(std::string_view data);
+
+}  // namespace acic

@@ -1,0 +1,59 @@
+#include "acic/common/filelock.hpp"
+
+#include <cerrno>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace acic {
+
+namespace {
+
+int flock_retry(int fd, int operation) {
+  int rc;
+  do {
+    rc = ::flock(fd, operation);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+}  // namespace
+
+FileLock::FileLock(const std::string& path) : path_(path) {
+  do {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+FileLock::~FileLock() {
+  // Closing the descriptor releases any lock held on it.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FileLock::lock_shared() {
+  return fd_ >= 0 && flock_retry(fd_, LOCK_SH) == 0;
+}
+
+bool FileLock::lock_exclusive() {
+  return fd_ >= 0 && flock_retry(fd_, LOCK_EX) == 0;
+}
+
+bool FileLock::unlock() {
+  return fd_ >= 0 && flock_retry(fd_, LOCK_UN) == 0;
+}
+
+}  // namespace acic

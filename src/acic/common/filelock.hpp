@@ -1,0 +1,76 @@
+// Advisory file locking for multi-process coordination.
+//
+// A FileLock owns one file descriptor on a dedicated lock file and
+// takes BSD `flock(2)` locks on it — shared for readers/appenders,
+// exclusive for writers that must see (and produce) a consistent whole
+// file, e.g. the run store's compaction.  flock locks attach to the
+// *open file description*, so two FileLock objects on the same path
+// contend with each other even inside one process — which is exactly
+// what lets a test simulate two processes sharing a store directory.
+//
+// The locks are advisory: every party touching the protected resource
+// must go through a FileLock on the same path.  Locking a separate
+// `.lock` file (rather than the data file itself) keeps the lock
+// identity stable across atomic rename-replacement of the data file.
+//
+// All methods are failure-tolerant by design: a lock that cannot be
+// taken (unsupported filesystem, EBADF after a failed open) reports
+// `false` instead of throwing, so callers on a degraded store can fall
+// back to single-process behaviour instead of crashing.
+#pragma once
+
+#include <string>
+
+namespace acic {
+
+class FileLock {
+ public:
+  /// Opens (creating if needed, mode 0644) the lock file.  Check
+  /// `valid()`: an unopenable path (read-only directory, ENOENT parent)
+  /// yields an invalid lock whose lock methods all return false.
+  explicit FileLock(const std::string& path);
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  ~FileLock();
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Blocking lock acquisition (retried through EINTR).  Upgrades and
+  /// downgrades in place: flock atomically converts an existing lock.
+  bool lock_shared();
+  bool lock_exclusive();
+  bool unlock();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// RAII guard: takes the requested lock in the constructor, releases in
+/// the destructor.  `held()` reports whether acquisition succeeded (it
+/// fails only on an invalid FileLock or a filesystem without flock).
+class ScopedFileLock {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  ScopedFileLock(FileLock& lock, Mode mode) : lock_(&lock) {
+    held_ = (mode == Mode::kExclusive) ? lock.lock_exclusive()
+                                       : lock.lock_shared();
+  }
+  ScopedFileLock(const ScopedFileLock&) = delete;
+  ScopedFileLock& operator=(const ScopedFileLock&) = delete;
+  ~ScopedFileLock() {
+    if (held_) lock_->unlock();
+  }
+
+  bool held() const { return held_; }
+
+ private:
+  FileLock* lock_;
+  bool held_ = false;
+};
+
+}  // namespace acic

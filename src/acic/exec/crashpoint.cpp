@@ -1,0 +1,73 @@
+#include "acic/exec/crashpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include <unistd.h>
+
+namespace acic::exec {
+
+namespace {
+
+// The armed state.  `remaining` is the fast-path guard: 0 means
+// disarmed, so an unarmed process pays one relaxed load per store
+// write.  The site string is only read once `remaining` is non-zero,
+// under the mutex (arming and firing never race in practice — torture
+// tests arm before forking — but the lock keeps TSan honest).
+std::atomic<std::size_t> g_remaining{0};
+std::mutex g_mutex;
+std::string g_site;           // guarded by g_mutex
+CrashMode g_mode = CrashMode::kBeforeWrite;  // guarded by g_mutex
+
+}  // namespace
+
+void Crashpoints::arm(std::string site, std::size_t nth, CrashMode mode) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_site = std::move(site);
+  g_mode = mode;
+  g_remaining.store(nth, std::memory_order_release);
+}
+
+void Crashpoints::disarm() { arm(std::string(), 0); }
+
+void Crashpoints::arm_from_env() {
+  const char* spec = std::getenv("ACIC_CRASHPOINT");
+  if (!spec || !*spec) return;
+  const std::string text(spec);
+  const auto colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) return;
+  std::string site = text.substr(0, colon);
+  std::string rest = text.substr(colon + 1);
+  CrashMode mode = CrashMode::kBeforeWrite;
+  if (const auto colon2 = rest.find(':'); colon2 != std::string::npos) {
+    const std::string mode_text = rest.substr(colon2 + 1);
+    rest = rest.substr(0, colon2);
+    if (mode_text == "torn") {
+      mode = CrashMode::kTornWrite;
+    } else if (mode_text == "after") {
+      mode = CrashMode::kAfterWrite;
+    } else if (mode_text != "before") {
+      return;  // unknown mode: refuse to arm rather than guess
+    }
+  }
+  char* end = nullptr;
+  const unsigned long nth = std::strtoul(rest.c_str(), &end, 10);
+  if (end == rest.c_str() || *end != '\0' || nth == 0) return;
+  arm(std::move(site), static_cast<std::size_t>(nth), mode);
+}
+
+std::optional<CrashMode> Crashpoints::on_write(std::string_view site) {
+  if (g_remaining.load(std::memory_order_acquire) == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::size_t remaining = g_remaining.load(std::memory_order_relaxed);
+  if (remaining == 0 || g_site != site) return std::nullopt;
+  --remaining;
+  g_remaining.store(remaining, std::memory_order_release);
+  if (remaining > 0) return std::nullopt;
+  return g_mode;
+}
+
+void Crashpoints::die() { ::_exit(2); }
+
+}  // namespace acic::exec

@@ -1,0 +1,68 @@
+// Deterministic crash injection for durability testing.
+//
+// A crashpoint is a named write site in a persistence path (e.g. the
+// run store's append, its compaction rename) where the process can be
+// made to die abruptly — `_exit(2)`, no unwinding, no flushing, the
+// closest user-space stand-in for `kill -9` — at a chosen occurrence
+// count.  The crash-torture test arms a crashpoint, forks a writer,
+// lets it die mid-write, and asserts that reopening the store recovers
+// every acknowledged record.
+//
+// Arming, two ways:
+//  * programmatically: `Crashpoints::arm("store.append", 3, kTornWrite)`
+//    — used by fork-based in-process torture tests;
+//  * by environment: `ACIC_CRASHPOINT=store.append:3[:before|torn|after]`
+//    — read once per process (`arm_from_env`, called when the first
+//    RunStore opens), for driving whole binaries from CI.
+//
+// The mode shapes what the Nth hit leaves on disk:
+//  * kBeforeWrite — die before any bytes reach the file (clean loss of
+//    the unacknowledged record);
+//  * kTornWrite   — the caller writes a prefix of the record, then
+//    dies (a torn tail, which recovery must truncate);
+//  * kAfterWrite  — the caller writes the full record, then dies (a
+//    complete but never-acknowledged record; recovery may keep it).
+//
+// In a normal process nothing is armed and `on_write()` is one relaxed
+// atomic load — negligible even if it were on a hot path (it is not:
+// store writes happen once per multi-second simulation).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace acic::exec {
+
+enum class CrashMode {
+  kBeforeWrite,
+  kTornWrite,
+  kAfterWrite,
+};
+
+class Crashpoints {
+ public:
+  /// Arm `site` to crash on its `nth` (1-based) hit.  nth == 0 disarms.
+  /// One site may be armed at a time — torture tests iterate.
+  static void arm(std::string site, std::size_t nth,
+                  CrashMode mode = CrashMode::kBeforeWrite);
+  static void disarm();
+
+  /// Parse ACIC_CRASHPOINT ("site:N" or "site:N:before|torn|after") and
+  /// arm accordingly.  Unset or unparsable is a no-op.
+  static void arm_from_env();
+
+  /// Per-write check, called exactly once per record written at `site`.
+  /// Counts the hit; on the armed Nth hit returns the crash mode for
+  /// the caller to apply (kBeforeWrite: die() immediately; kTornWrite:
+  /// write a prefix, then die(); kAfterWrite: write fully, then die()).
+  /// Unarmed or non-matching sites return nullopt.
+  static std::optional<CrashMode> on_write(std::string_view site);
+
+  /// Immediate abrupt process exit — no unwinding, no stream flushing,
+  /// no atexit.  What `kill -9` leaves behind, minus the signal.
+  [[noreturn]] static void die();
+};
+
+}  // namespace acic::exec

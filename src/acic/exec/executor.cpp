@@ -1,5 +1,6 @@
 #include "acic/exec/executor.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -39,19 +40,19 @@ Executor::Executor(ExecutorOptions options) : options_(std::move(options)) {
   memo_entries_ = &registry.gauge("exec.memo_entries");
   memo_bytes_ = &registry.gauge("exec.memo_bytes");
   store_bytes_ = &registry.gauge("exec.store_bytes");
+  store_degraded_ = &registry.gauge("exec.store.degraded");
   if (!options_.run_fn) {
     options_.run_fn = [](const RunRequest& r) {
       return io::run_workload(r.workload, r.config, r.options);
     };
   }
   if (options_.cache && !options_.store_dir.empty()) {
-    store_ = std::make_unique<RunStore>(options_.store_dir);
-    if (store_->quarantined() > 0) {
-      obs::MetricsRegistry::global()
-          .counter("exec.store_quarantined")
-          .add(static_cast<double>(store_->quarantined()));
+    try {
+      store_ = std::make_unique<RunStore>(options_.store_dir);
+      store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
+    } catch (const std::exception& e) {
+      degrade_store_locked(e.what());
     }
-    store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
   }
 }
 
@@ -69,19 +70,39 @@ Executor& Executor::global() {
 void Executor::arm_store(const std::string& dir) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!options_.cache || store_ || dir.empty()) return;
-  store_ = std::make_unique<RunStore>(dir);
-  options_.store_dir = dir;
-  if (store_->quarantined() > 0) {
-    obs::MetricsRegistry::global()
-        .counter("exec.store_quarantined")
-        .add(static_cast<double>(store_->quarantined()));
+  try {
+    store_ = std::make_unique<RunStore>(dir);
+    options_.store_dir = dir;
+    store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
+  } catch (const std::exception& e) {
+    degrade_store_locked(e.what());
   }
-  store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
+}
+
+void Executor::degrade_store_locked(const char* why) {
+  // Graceful degradation: a store that cannot be opened or written
+  // (read-only cache dir, ENOSPC, yanked directory) must cost us the
+  // persistent tier, not the run — the memo tier keeps serving and
+  // every simulation still completes.
+  store_.reset();
+  degraded_ = true;
+  store_degraded_->set(1.0);
+  if (!store_degradation_warned_.exchange(true)) {
+    std::fprintf(stderr,
+                 "acic: run store degraded to memo-only (%s); results from "
+                 "this process will not persist\n",
+                 why);
+  }
 }
 
 bool Executor::has_store() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return store_ != nullptr;
+}
+
+bool Executor::store_degraded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
 }
 
 std::size_t Executor::memo_size() const {
@@ -126,6 +147,8 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
       return it->second;
     }
     if (store_) {
+      // lookup() never throws by contract (replay of other writers'
+      // rows is best-effort), so the probe cannot degrade the store.
       if (const auto hit = store_->lookup(key)) {
         memo_.emplace(key, *hit);
         note_memo_footprint();
@@ -177,8 +200,15 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     store = store_.get();  // pin under the lock (arm_store may race)
   }
   if (store) {
-    store->put(key, result);
-    store_bytes_->set(static_cast<double>(store->bytes_on_disk()));
+    try {
+      store->put(key, result);
+      store_bytes_->set(static_cast<double>(store->bytes_on_disk()));
+    } catch (const std::exception& e) {
+      // The result is already acknowledged in the memo tier; losing the
+      // persistent copy demotes the store, never the caller's run.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (store_.get() == store) degrade_store_locked(e.what());
+    }
   }
   owned->promise.set_value(result);
   if (info) info->source = RunSource::kExecuted;

@@ -21,12 +21,17 @@
 //    (RunOutcome::kFailed travels through both tiers), never laundered
 //    into timings;
 //  * observability — acic::obs counters for hits, misses, dedup,
-//    coalesced waits and cache footprint under the `exec.` prefix.
+//    coalesced waits and cache footprint under the `exec.` prefix;
+//  * graceful degradation — any store I/O failure (read-only cache
+//    directory, ENOSPC, yanked directory) demotes the executor to
+//    memo-only with the `exec.store.degraded` gauge and a one-shot
+//    stderr warning, instead of failing the caller's run.
 //
 // Traced runs (options.tracer != nullptr) bypass the cache entirely:
 // the trace tap is a side effect a cached answer would silently skip.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -112,9 +117,16 @@ class Executor {
                                        std::vector<RunInfo>* infos = nullptr);
 
   /// Arm the persistent tier at `dir` if none is armed yet (idempotent;
-  /// a second call with a different directory is ignored).
+  /// a second call with a different directory is ignored).  A directory
+  /// that cannot be opened degrades to memo-only instead of throwing.
   void arm_store(const std::string& dir);
   bool has_store() const;
+
+  /// True once any store I/O failure (unopenable directory, failed
+  /// append, ENOSPC, EROFS) demoted this executor to memo-only.  Also
+  /// visible process-wide as the `exec.store.degraded` gauge; the first
+  /// degradation prints a one-shot warning to stderr.
+  bool store_degraded() const;
 
   std::size_t memo_size() const;
   const ExecutorOptions& options() const { return options_; }
@@ -127,12 +139,15 @@ class Executor {
 
   io::RunResult execute(const RunRequest& request);
   void note_memo_footprint();
+  void degrade_store_locked(const char* why);
 
   ExecutorOptions options_;
   mutable std::mutex mutex_;
   std::unordered_map<RunKey, io::RunResult, RunKeyHash> memo_;
   std::unordered_map<RunKey, std::shared_ptr<InFlight>, RunKeyHash> inflight_;
   std::unique_ptr<RunStore> store_;
+  bool degraded_ = false;
+  std::atomic<bool> store_degradation_warned_{false};
 
   // Process-wide instruments, resolved once so the hot path never takes
   // the registry lock.
@@ -147,6 +162,7 @@ class Executor {
   obs::Gauge* memo_entries_;
   obs::Gauge* memo_bytes_;
   obs::Gauge* store_bytes_;
+  obs::Gauge* store_degraded_;
 };
 
 }  // namespace acic::exec

@@ -1,70 +1,155 @@
 // Persistent tier of the execution engine's run cache: a content-
 // addressed on-disk table of finished simulation results, keyed by
-// RunKey.
+// RunKey — crash-safe and shareable between processes.
 //
 // Layout (one directory per store):
-//   runs.csv        — versioned header + one row per cached run
-//   quarantine.csv  — rows that failed validation at load time, kept for
+//   runs.csv        — versioned header + one CRC-framed record per run
+//   runs.csv.tmp    — compaction staging file (atomically renamed over
+//                     runs.csv; a leftover tmp from a crashed compactor
+//                     is inert and overwritten by the next rewrite)
+//   quarantine.csv  — records that failed validation, kept for
 //                     forensics instead of silently dropped
+//   .store.lock     — advisory flock coordination point (stable across
+//                     the rename-replacement of runs.csv)
 //
-// The store is loaded whole at open (cached sweeps are thousands of rows,
-// not millions), appends one CSV line per new result, and validates
-// ruthlessly on the way in: wrong arity, non-numeric cells, unknown
-// outcome grades, and non-positive timings on rows claiming a clean
-// outcome are all quarantined — a corrupt shared cache must never
-// resurface as a believable measurement.  Failed runs are stored *with
-// their grade*, so a warm hit of a failed run is still a failure, never a
-// timing.
+// Durability design (DESIGN.md §10):
 //
-// Thread-safe within one process.  Concurrent *processes* appending to
-// one store directory are not coordinated; point them at separate
-// directories (the CI smoke job runs cold/warm sequentially).
+//  * Record framing.  Every data row carries a trailing CRC32C cell
+//    over its payload.  On open, a bad-CRC or incomplete *tail* record
+//    is a torn write: truncated silently (counted in
+//    `exec.store.torn_tail`), because a crash mid-append can only tear
+//    the last record and that record was never acknowledged.  A bad-CRC
+//    *interior* record cannot be a torn append — it is corruption, and
+//    is quarantined along with rows whose CRC passes but whose content
+//    fails validation (wrong arity, bad key hex, non-numeric or
+//    overflowing cells, unknown outcome, non-positive timings on rows
+//    claiming a clean outcome).
+//  * Atomic rewrite.  Quarantine repair and compact() stage the full
+//    survivor set in runs.csv.tmp, fsync, then rename(2) over the live
+//    file — runs.csv is never truncated in place, so a crash leaves
+//    either the old complete file or the new complete file.
+//  * Single-write appends.  Each record is one write(2) on an O_APPEND
+//    descriptor, so concurrent appenders cannot interleave mid-row, and
+//    each append is fsync'd before put() acknowledges it.
+//  * Multi-process coordination.  Advisory flock on `.store.lock`:
+//    shared for replay and appends, exclusive for anything that
+//    replaces or truncates runs.csv (open-time repair, compaction,
+//    header initialization — which is why two racing first-appends can
+//    no longer both write the header).  A lookup miss replays records
+//    appended by other processes since the last read; a compaction by
+//    another process (inode change) triggers a full reload.
+//    Lock order: the store mutex is always taken before the file lock.
+//
+// Failure policy: constructor, put() and compact() throw acic::Error on
+// I/O failure (the Executor catches and degrades to memo-only);
+// lookup() never throws — replay is best-effort.  put() rolls its row
+// back out of memory when the append fails, so a later compact() cannot
+// resurrect a record that was never durably acknowledged.
+//
+// Thread-safe within one process; safe between processes via flock.
+// Two RunStore instances on one directory — same or different
+// processes — see each other's rows.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "acic/common/filelock.hpp"
 #include "acic/exec/runkey.hpp"
 #include "acic/io/runner.hpp"
+
+namespace acic::obs {
+class Counter;
+}  // namespace acic::obs
 
 namespace acic::exec {
 
 class RunStore {
  public:
-  /// Opens (creating the directory if needed) and loads `dir`/runs.csv.
-  /// An incompatible schema version sidelines the whole file; corrupt
-  /// rows are appended to quarantine.csv and runs.csv is rewritten with
-  /// only the surviving rows.  Throws acic::Error on I/O failure.
+  /// Opens (creating the directory if needed) and loads `dir`/runs.csv,
+  /// recovering from torn tails and quarantining corrupt records.  An
+  /// incompatible schema generation sidelines the whole file.  Throws
+  /// acic::Error when the directory, lock file or runs.csv cannot be
+  /// created/read (e.g. a read-only cache directory).
   explicit RunStore(std::string dir);
 
   const std::string& dir() const { return dir_; }
 
-  std::optional<io::RunResult> lookup(const RunKey& key) const;
+  /// Cache probe.  A miss replays records appended by other processes
+  /// before answering.  Never throws.
+  std::optional<io::RunResult> lookup(const RunKey& key);
 
   /// Insert-or-ignore: the store is content-addressed, so a key that is
-  /// already present keeps its existing (identical) row.
+  /// already present keeps its existing (identical) row.  The insert is
+  /// acknowledged only once the framed record is durably appended;
+  /// on failure the row is rolled back and acic::Error is thrown.
   void put(const RunKey& key, const io::RunResult& result);
 
+  /// Atomically rewrites runs.csv as header + the full merged row set
+  /// (other writers' records are replayed first, so compaction never
+  /// drops their acknowledged rows).  Throws acic::Error on I/O failure.
+  void compact();
+
   std::size_t size() const;
-  /// Corrupt rows sidelined while loading this store.
+  /// Corrupt records sidelined to quarantine.csv by this instance.
   std::size_t quarantined() const { return quarantined_; }
+  /// Torn tail records truncated during recovery by this instance.
+  std::size_t torn_tails() const { return torn_tails_; }
+  /// Records appended by other writers and replayed on lookup miss.
+  std::size_t replayed() const { return replayed_; }
+  /// Atomic rewrites (open-time repair + explicit compact()) performed.
+  std::size_t compactions() const { return compactions_; }
   /// Current size of runs.csv in bytes (0 when nothing is cached yet).
   std::uint64_t bytes_on_disk() const;
 
-  /// First header cell of runs.csv; bump together with the RunKey schema.
-  static constexpr const char* kVersionTag = "acic_exec_store_v1";
+  /// Frames `payload` as stored on disk: payload + "," + 8-hex CRC32C.
+  /// Exposed so tests and tooling can synthesize valid records.
+  static std::string frame(const std::string& payload);
+
+  /// First header cell of runs.csv; bump together with the record
+  /// schema (v2 added the CRC frame cell).
+  static constexpr const char* kVersionTag = "acic_exec_store_v2";
+  static constexpr const char* kLockFileName = ".store.lock";
 
  private:
-  void append_row(const RunKey& key, const io::RunResult& result);
+  struct ScanResult;
+
+  ScanResult scan_file() const;
+  bool adopt_clean_scan(const ScanResult& scan);
+  void recover_exclusive();
+  void note_torn_tail();
+  void quarantine_records(const std::vector<std::string>& lines);
+  void rewrite_locked();
+  void append_record(const std::string& line);
+  void replay_appended_locked();
+  void refresh_replay_position();
 
   std::string dir_;
   std::string runs_path_;
+  std::string tmp_path_;
+  std::unique_ptr<FileLock> lock_;
   mutable std::mutex mutex_;
   std::unordered_map<RunKey, io::RunResult, RunKeyHash> rows_;
   std::size_t quarantined_ = 0;
+  std::size_t torn_tails_ = 0;
+  std::size_t replayed_ = 0;
+  std::size_t compactions_ = 0;
+
+  // Replay cursor: how far into runs.csv (and which inode) this
+  // instance has consumed.  Guarded by mutex_.
+  std::uint64_t replay_ino_ = 0;
+  std::uint64_t replay_offset_ = 0;
+
+  // Process-wide instruments (exec.store.*), resolved once.
+  obs::Counter* torn_metric_;
+  obs::Counter* quarantined_metric_;
+  obs::Counter* replayed_metric_;
+  obs::Counter* compactions_metric_;
 };
 
 }  // namespace acic::exec

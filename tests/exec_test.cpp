@@ -411,16 +411,23 @@ TEST(RunStoreTest, CorruptRowsAreQuarantinedNotServed) {
     exec::RunStore store(dir.str());
     store.put(good_key, sample_result());
   }
-  // Corrupt the file by hand: wrong arity, non-numeric cell, bad key,
-  // and the poisonous case — a row claiming `ok` with zero time.
+  // Corrupt the file by hand with records whose CRC frame is *valid*
+  // but whose content is not — wrong arity, non-numeric cell, bad key,
+  // and the poisonous case, a row claiming `ok` with zero time.  (A
+  // record with a bad CRC at the very end would be treated as a torn
+  // tail and silently truncated instead; see the recovery suite.)
   {
     std::ofstream out(dir.path / "runs.csv", std::ios::app);
-    out << "deadbeef,1.0\n";
-    out << std::string(32, 'a')
-        << ",not_a_number,1,1,1,1,1,1,ok,0,0,0,0,0\n";
-    out << "zznotakeyzznotakeyzznotakeyzznot"
-        << ",1,1,1,1,1,1,1,ok,0,0,0,0,0\n";
-    out << std::string(32, 'b') << ",0,0,1,1,1,1,1,ok,0,0,0,0,0\n";
+    out << exec::RunStore::frame("deadbeef,1.0") << "\n";
+    out << exec::RunStore::frame(std::string(32, 'a') +
+                                 ",not_a_number,1,1,1,1,1,1,ok,0,0,0,0,0")
+        << "\n";
+    out << exec::RunStore::frame(
+               "zznotakeyzznotakeyzznotakeyzznot,1,1,1,1,1,1,1,ok,0,0,0,0,0")
+        << "\n";
+    out << exec::RunStore::frame(std::string(32, 'b') +
+                                 ",0,0,1,1,1,1,1,ok,0,0,0,0,0")
+        << "\n";
   }
   exec::RunStore store(dir.str());
   EXPECT_EQ(store.quarantined(), 4u);
