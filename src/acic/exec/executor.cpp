@@ -48,7 +48,7 @@ Executor::Executor(ExecutorOptions options) : options_(std::move(options)) {
   }
   if (options_.cache && !options_.store_dir.empty()) {
     try {
-      store_ = std::make_unique<RunStore>(options_.store_dir);
+      store_ = std::make_shared<RunStore>(options_.store_dir);
       store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
     } catch (const std::exception& e) {
       degrade_store_locked(e.what());
@@ -71,7 +71,7 @@ void Executor::arm_store(const std::string& dir) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!options_.cache || store_ || dir.empty()) return;
   try {
-    store_ = std::make_unique<RunStore>(dir);
+    store_ = std::make_shared<RunStore>(dir);
     options_.store_dir = dir;
     store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
   } catch (const std::exception& e) {
@@ -83,7 +83,9 @@ void Executor::degrade_store_locked(const char* why) {
   // Graceful degradation: a store that cannot be opened or written
   // (read-only cache dir, ENOSPC, yanked directory) must cost us the
   // persistent tier, not the run — the memo tier keeps serving and
-  // every simulation still completes.
+  // every simulation still completes.  Dropping our reference does not
+  // destroy the store while peer threads hold a pinned shared_ptr and
+  // are still inside put()/lookup(); the last pin frees it.
   store_.reset();
   degraded_ = true;
   store_degraded_->set(1.0);
@@ -138,26 +140,19 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
 
   std::shared_ptr<InFlight> wait_on;
   std::shared_ptr<InFlight> owned;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto it = memo_.find(key); it != memo_.end()) {
-      cache_hits_->inc();
-      memo_hits_->inc();
-      if (info) info->source = RunSource::kMemo;
-      return it->second;
-    }
-    if (store_) {
-      // lookup() never throws by contract (replay of other writers'
-      // rows is best-effort), so the probe cannot degrade the store.
-      if (const auto hit = store_->lookup(key)) {
-        memo_.emplace(key, *hit);
-        note_memo_footprint();
-        cache_hits_->inc();
-        store_hits_->inc();
-        if (info) info->source = RunSource::kStore;
-        return *hit;
-      }
-    }
+  // Probes the memo tier; non-null means a hit whose counters and info
+  // are already accounted.  Callers must hold mutex_.
+  const auto memo_probe_locked = [&]() -> const io::RunResult* {
+    const auto it = memo_.find(key);
+    if (it == memo_.end()) return nullptr;
+    cache_hits_->inc();
+    memo_hits_->inc();
+    if (info) info->source = RunSource::kMemo;
+    return &it->second;
+  };
+  // Joins an in-flight simulation of this key, or claims ownership of a
+  // new one.  Callers must hold mutex_.
+  const auto join_or_claim_locked = [&] {
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
       wait_on = it->second;
     } else {
@@ -165,6 +160,39 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
       owned->future = owned->promise.get_future().share();
       inflight_.emplace(key, owned);
     }
+  };
+
+  std::shared_ptr<RunStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto* hit = memo_probe_locked()) return *hit;
+    // Pin the store by value: a concurrent degradation drops store_,
+    // and this reference is what keeps the object alive while we probe.
+    store = store_;
+    if (!store) join_or_claim_locked();
+  }
+
+  if (store) {
+    // Probe the persistent tier outside mutex_: lookup() takes a
+    // blocking shared flock and may replay the whole file, so holding
+    // the executor lock here would stall every thread — including pure
+    // memo hits — behind another process's compaction.  lookup() never
+    // throws by contract (replay of other writers' rows is best-effort),
+    // so the probe cannot degrade the store.
+    const auto hit = store->lookup(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Re-check the memo: another thread may have installed the result
+    // while we were probing without the lock.
+    if (const auto* memo_hit = memo_probe_locked()) return *memo_hit;
+    if (hit) {
+      memo_.emplace(key, *hit);
+      note_memo_footprint();
+      cache_hits_->inc();
+      store_hits_->inc();
+      if (info) info->source = RunSource::kStore;
+      return *hit;
+    }
+    join_or_claim_locked();
   }
 
   if (wait_on) {
@@ -188,7 +216,6 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     throw;
   }
 
-  RunStore* store = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Failed runs are cached *as failures*: the full result including
@@ -197,7 +224,11 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     memo_.emplace(key, result);
     inflight_.erase(key);
     note_memo_footprint();
-    store = store_.get();  // pin under the lock (arm_store may race)
+    // Re-pin under the lock: arm_store may have armed the tier since
+    // the probe, and a peer's degradation may have dropped it.  The
+    // shared_ptr keeps the store alive through the put even if a peer
+    // degrades (store_.reset()) while we are inside it.
+    store = store_;
   }
   if (store) {
     try {
@@ -207,7 +238,7 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
       // The result is already acknowledged in the memo tier; losing the
       // persistent copy demotes the store, never the caller's run.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (store_.get() == store) degrade_store_locked(e.what());
+      if (store_ == store) degrade_store_locked(e.what());
     }
   }
   owned->promise.set_value(result);

@@ -145,7 +145,10 @@ class Executor {
   mutable std::mutex mutex_;
   std::unordered_map<RunKey, io::RunResult, RunKeyHash> memo_;
   std::unordered_map<RunKey, std::shared_ptr<InFlight>, RunKeyHash> inflight_;
-  std::unique_ptr<RunStore> store_;
+  // shared_ptr so callers can pin the store by value and use it outside
+  // mutex_; degradation drops this reference, but a pinned store stays
+  // alive until every in-flight put()/lookup() returns.
+  std::shared_ptr<RunStore> store_;
   bool degraded_ = false;
   std::atomic<bool> store_degradation_warned_{false};
 

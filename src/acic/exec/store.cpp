@@ -238,6 +238,8 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   auto& registry = obs::MetricsRegistry::global();
   torn_metric_ = &registry.counter("exec.store.torn_tail");
   quarantined_metric_ = &registry.counter("exec.store_quarantined");
+  quarantine_dropped_metric_ =
+      &registry.counter("exec.store.quarantine_dropped");
   replayed_metric_ = &registry.counter("exec.store.replayed_rows");
   compactions_metric_ = &registry.counter("exec.store.compactions");
 
@@ -388,13 +390,13 @@ RunStore::ScanResult RunStore::scan_file() const {
         scan.bad.push_back(line);  // CRC fine, content invalid: corrupt
       }
       scan.good_bytes = pos;
-    } else if (pos >= content.size()) {
-      // Bad CRC on the *final* record: a torn write whose payload
-      // happens to still look line-shaped.  Truncate, don't quarantine.
-      scan.torn = true;
-      break;
     } else {
-      scan.bad.push_back(line);  // bad CRC mid-file: interior corruption
+      // Bad CRC on a fully newline-terminated record — even the final
+      // one.  A torn single-write(2) append can never persist the
+      // trailing newline without the payload bytes in front of it, so
+      // terminated-but-bad-CRC is real corruption (bit rot, a foreign
+      // writer), not a torn tail: quarantine it for forensics.
+      scan.bad.push_back(line);
       scan.good_bytes = pos;
     }
   }
@@ -407,9 +409,24 @@ void RunStore::note_torn_tail() {
 }
 
 void RunStore::quarantine_records(const std::vector<std::string>& lines) {
-  std::ofstream q((std::filesystem::path(dir_) / "quarantine.csv").string(),
-                  std::ios::app);
+  const auto path =
+      (std::filesystem::path(dir_) / "quarantine.csv").string();
+  std::ofstream q(path, std::ios::app);
   for (const auto& line : lines) q << line << "\n";
+  q.flush();
+  if (!q) {
+    // The forensic copy could not be written — likely ENOSPC, i.e.
+    // exactly when the store is already failing.  The rows still leave
+    // the live set, but count them as dropped rather than letting the
+    // metrics claim they were sidelined.
+    quarantine_dropped_ += lines.size();
+    quarantine_dropped_metric_->add(static_cast<double>(lines.size()));
+    std::fprintf(stderr,
+                 "acic: cannot write %zu quarantined record(s) to %s; "
+                 "forensic copies lost\n",
+                 lines.size(), path.c_str());
+    return;
+  }
   quarantined_ += lines.size();
   quarantined_metric_->add(static_cast<double>(lines.size()));
 }
@@ -541,7 +558,11 @@ void RunStore::replay_appended_locked() {
             ++fresh_rows;
           }
         } else if (is_last) {
-          break;  // possible torn tail: leave it for recovery to judge
+          // Bad CRC at the end of the replay window: either a
+          // concurrent append caught mid-visibility or real corruption.
+          // Replay holds only a shared lock and cannot rewrite — leave
+          // it unconsumed for open-time recovery to judge.
+          break;
         }
       }
       pos = nl + 1;

@@ -15,15 +15,19 @@
 // Durability design (DESIGN.md §10):
 //
 //  * Record framing.  Every data row carries a trailing CRC32C cell
-//    over its payload.  On open, a bad-CRC or incomplete *tail* record
-//    is a torn write: truncated silently (counted in
+//    over its payload.  On open, *unterminated* trailing bytes are a
+//    torn write: truncated silently (counted in
 //    `exec.store.torn_tail`), because a crash mid-append can only tear
-//    the last record and that record was never acknowledged.  A bad-CRC
-//    *interior* record cannot be a torn append — it is corruption, and
-//    is quarantined along with rows whose CRC passes but whose content
-//    fails validation (wrong arity, bad key hex, non-numeric or
-//    overflowing cells, unknown outcome, non-positive timings on rows
-//    claiming a clean outcome).
+//    the last record and that record was never acknowledged.  A
+//    newline-terminated record with a bad CRC — tail or interior —
+//    cannot be a torn single-write append (the newline is the last
+//    byte, so a partial write never persists it without the payload):
+//    it is corruption, and is quarantined along with rows whose CRC
+//    passes but whose content fails validation (wrong arity, bad key
+//    hex, non-numeric or overflowing cells, unknown outcome,
+//    non-positive timings on rows claiming a clean outcome).  A
+//    quarantine copy that itself cannot be written (ENOSPC) is counted
+//    in `exec.store.quarantine_dropped` instead of claimed sidelined.
 //  * Atomic rewrite.  Quarantine repair and compact() stage the full
 //    survivor set in runs.csv.tmp, fsync, then rename(2) over the live
 //    file — runs.csv is never truncated in place, so a crash leaves
@@ -98,6 +102,10 @@ class RunStore {
   std::size_t size() const;
   /// Corrupt records sidelined to quarantine.csv by this instance.
   std::size_t quarantined() const { return quarantined_; }
+  /// Corrupt records whose forensic copy could not be written (the
+  /// quarantine.csv append itself failed); they left the live set but
+  /// are not preserved.
+  std::size_t quarantine_dropped() const { return quarantine_dropped_; }
   /// Torn tail records truncated during recovery by this instance.
   std::size_t torn_tails() const { return torn_tails_; }
   /// Records appended by other writers and replayed on lookup miss.
@@ -136,6 +144,7 @@ class RunStore {
   mutable std::mutex mutex_;
   std::unordered_map<RunKey, io::RunResult, RunKeyHash> rows_;
   std::size_t quarantined_ = 0;
+  std::size_t quarantine_dropped_ = 0;
   std::size_t torn_tails_ = 0;
   std::size_t replayed_ = 0;
   std::size_t compactions_ = 0;
@@ -148,6 +157,7 @@ class RunStore {
   // Process-wide instruments (exec.store.*), resolved once.
   obs::Counter* torn_metric_;
   obs::Counter* quarantined_metric_;
+  obs::Counter* quarantine_dropped_metric_;
   obs::Counter* replayed_metric_;
   obs::Counter* compactions_metric_;
 };

@@ -413,9 +413,10 @@ TEST(RunStoreTest, CorruptRowsAreQuarantinedNotServed) {
   }
   // Corrupt the file by hand with records whose CRC frame is *valid*
   // but whose content is not — wrong arity, non-numeric cell, bad key,
-  // and the poisonous case, a row claiming `ok` with zero time.  (A
-  // record with a bad CRC at the very end would be treated as a torn
-  // tail and silently truncated instead; see the recovery suite.)
+  // and the poisonous case, a row claiming `ok` with zero time.  (Bad
+  // CRCs are also quarantined when the record is newline-terminated;
+  // only unterminated trailing bytes count as a torn tail — see the
+  // recovery suite.)
   {
     std::ofstream out(dir.path / "runs.csv", std::ios::app);
     out << exec::RunStore::frame("deadbeef,1.0") << "\n";

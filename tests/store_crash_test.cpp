@@ -258,16 +258,17 @@ TEST(RunStoreRecovery, TrailingPartialRecordIsTruncatedSilently) {
   EXPECT_EQ(clean.size(), 3u);
 }
 
-TEST(RunStoreRecovery, BadCrcFinalRecordIsTruncatedAsTorn) {
-  TempDir dir("torn_crc");
+TEST(RunStoreRecovery, BadCrcTerminatedFinalRecordIsQuarantined) {
+  TempDir dir("crc_final");
   {
     exec::RunStore store(dir.str());
     for (int i = 0; i < 3; ++i) store.put(key_for(i), result_for(i));
   }
   {
-    // A complete-looking line whose CRC does not match: at the tail
-    // this is indistinguishable from a torn write that happened to
-    // stay line-shaped, so it is truncated, not quarantined.
+    // A complete, newline-terminated line whose CRC does not match.  A
+    // torn single-write append can never persist the trailing newline
+    // without the payload in front of it, so even at the tail this is
+    // corruption: quarantined, not silently truncated.
     std::string line = exec::RunStore::frame(
         std::string(32, 'c') + ",5,5,1,1,1,1,1,ok,0,0,0,0,0");
     line[0] = line[0] == 'c' ? 'd' : 'c';  // break the checksum
@@ -277,8 +278,39 @@ TEST(RunStoreRecovery, BadCrcFinalRecordIsTruncatedAsTorn) {
   }
   exec::RunStore store(dir.str());
   EXPECT_EQ(store.size(), 3u);
-  EXPECT_EQ(store.torn_tails(), 1u);
+  EXPECT_EQ(store.torn_tails(), 0u);
+  EXPECT_EQ(store.quarantined(), 1u);
+  EXPECT_TRUE(fsys::exists(dir.path / "quarantine.csv"));
+
+  exec::RunStore clean(dir.str());
+  EXPECT_EQ(clean.quarantined(), 0u);
+  EXPECT_EQ(clean.size(), 3u);
+}
+
+TEST(RunStoreRecovery, FailedQuarantineWriteIsCountedAsDropped) {
+  TempDir dir("quarantine_drop");
+  {
+    exec::RunStore store(dir.str());
+    for (int i = 0; i < 2; ++i) store.put(key_for(i), result_for(i));
+  }
+  {
+    // One corrupt record to sideline...
+    std::ofstream out(dir.path / "runs.csv",
+                      std::ios::app | std::ios::binary);
+    out << exec::RunStore::frame("deadbeef,not_a_row") << "\n";
+  }
+  // ...but quarantine.csv cannot be opened for append (it is a
+  // directory).  Recovery must still scrub the live file, and must
+  // report the forensic copy as dropped, not sidelined.
+  fsys::create_directories(dir.path / "quarantine.csv");
+  exec::RunStore store(dir.str());
+  EXPECT_EQ(store.size(), 2u);
   EXPECT_EQ(store.quarantined(), 0u);
+  EXPECT_EQ(store.quarantine_dropped(), 1u);
+
+  exec::RunStore clean(dir.str());
+  EXPECT_EQ(clean.quarantine_dropped(), 0u);
+  EXPECT_EQ(clean.size(), 2u);
 }
 
 TEST(RunStoreRecovery, BadCrcInteriorRecordIsQuarantined) {
@@ -658,6 +690,42 @@ TEST(ExecutorDegradation, AppendFailureMidFlightDegrades) {
   engine.executor.run(second, &info);
   EXPECT_EQ(info.source, exec::RunSource::kMemo);
   EXPECT_EQ(engine.executions.load(), 2);
+}
+
+TEST(ExecutorDegradation, ConcurrentPutFailuresDegradeSafely) {
+  // Regression: run() pins the store and calls put() outside the
+  // executor lock, so the first worker to fail must not destroy the
+  // RunStore out from under peers still inside theirs — the shared_ptr
+  // pin keeps it alive until every in-flight call returns.  Under
+  // TSan/ASan this test is what catches a use-after-free regression.
+  TempDir dir("degrade_race");
+  FakeEngine engine(dir.str());
+  ASSERT_TRUE(engine.executor.has_store());
+
+  // Yank the directory so every concurrent put fails at once — the
+  // exact many-workers-hit-ENOSPC shape degradation exists for.
+  fsys::remove_all(dir.path);
+  constexpr int kRuns = 16;
+  std::vector<exec::RunRequest> requests;
+  requests.reserve(kRuns);
+  for (int i = 0; i < kRuns; ++i) {
+    requests.push_back(exec::RunRequest{
+        crash_workload(), cloud::IoConfig::baseline(), opts_for(i)});
+  }
+  const auto results = engine.executor.run_batch(requests, 8u);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kRuns));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.outcome, io::RunOutcome::kOk);
+  }
+  EXPECT_EQ(engine.executions.load(), kRuns);
+  EXPECT_TRUE(engine.executor.store_degraded());
+  EXPECT_FALSE(engine.executor.has_store());
+
+  // Memo tier still serves the whole batch warm.
+  exec::RunInfo info;
+  engine.executor.run(requests[0], &info);
+  EXPECT_EQ(info.source, exec::RunSource::kMemo);
+  EXPECT_EQ(engine.executions.load(), kRuns);
 }
 
 TEST(ExecutorDegradation, ReadOnlyStoreDirDegradesToMemoOnly) {
