@@ -1,0 +1,18 @@
+#include "acic/common/mutex.hpp"
+
+namespace acic {
+
+void CondVar::wait(Mutex& mu) {
+  // std::condition_variable_any treats Mutex as a BasicLockable: it
+  // atomically releases it around the sleep and re-acquires it before
+  // returning, so the ACIC_REQUIRES(mu) contract holds on both edges.
+  // The release/re-acquire happens inside the standard library, where
+  // the analysis does not look — exactly the semantics the annotation
+  // promises.
+  cv_.wait(mu);
+}
+
+void CondVar::notify_one() noexcept { cv_.notify_one(); }
+void CondVar::notify_all() noexcept { cv_.notify_all(); }
+
+}  // namespace acic

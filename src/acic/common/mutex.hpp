@@ -1,0 +1,115 @@
+// The annotated lock layer: the only place in src/acic where raw
+// standard-library mutex primitives may appear (enforced by
+// tools/lint/acic_lint.py).  Everything else takes `acic::Mutex` and
+// the RAII guards below, so Clang's `-Wthread-safety` can prove at
+// compile time that every `ACIC_GUARDED_BY` member is only touched
+// under its lock and every `*_locked()` helper is only called with the
+// lock held (see thread_annotations.hpp and DESIGN.md §11).
+//
+// Design notes:
+//
+//  * `Mutex` is a reader/writer lock (std::shared_mutex underneath):
+//    exclusive `lock()/unlock()` for writers, `lock_shared()/
+//    unlock_shared()` for readers.  Components that never need shared
+//    mode simply use MutexLock everywhere — a pure-exclusive
+//    shared_mutex costs the same uncontended fast path.
+//  * `MutexLock` / `ReaderMutexLock` are the scoped guards; prefer them
+//    over manual lock()/unlock() pairs (the analysis tracks both, but
+//    the guards are exception-safe).
+//  * `CondVar` is the annotated condition-variable wait helper: `wait()`
+//    declares `ACIC_REQUIRES(mu)`, making "you must hold the mutex you
+//    wait on" a compile-time contract instead of a runtime surprise.
+//  * This layer covers *in-process* exclusion only.  Cross-process
+//    coordination (the run store) layers advisory flock on top — see
+//    common/filelock.hpp and the layering note in exec/store.hpp; the
+//    in-process Mutex is always acquired before the file lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "acic/common/thread_annotations.hpp"
+
+namespace acic {
+
+/// Annotated reader/writer mutex.  Non-recursive; writer-exclusive or
+/// reader-shared.  Declare protected members with
+/// `ACIC_GUARDED_BY(mutex_)` and helpers with `ACIC_REQUIRES(mutex_)`.
+class ACIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACIC_ACQUIRE() { mu_.lock(); }
+  void unlock() ACIC_RELEASE() { mu_.unlock(); }
+  bool try_lock() ACIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() ACIC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() ACIC_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() ACIC_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  friend class CondVar;
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock.  Takes a pointer (Abseil-style) so the call
+/// site reads `MutexLock lock(&mutex_);` — visibly a lock, not a copy.
+class ACIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACIC_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ACIC_RELEASE() { mu_->unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+/// Scoped shared (reader) lock.
+class ACIC_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(Mutex* mu) ACIC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() ACIC_RELEASE_SHARED() { mu_->unlock_shared(); }
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to acic::Mutex.  `wait()` requires the
+/// mutex held exclusively — the annotation makes forgetting the lock a
+/// compile error, and the loop form guards against spurious wakeups by
+/// construction.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires `mu` before
+  /// returning.  Caller must re-test its predicate (spurious wakeups);
+  /// prefer the predicate overload.
+  void wait(Mutex& mu) ACIC_REQUIRES(mu);
+
+  /// Waits until `pred()` holds.  `pred` runs with `mu` held.
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) ACIC_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  void notify_one() noexcept;
+  void notify_all() noexcept;
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace acic

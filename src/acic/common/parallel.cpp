@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "acic/common/mutex.hpp"
 
 namespace acic {
 
@@ -24,7 +25,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   auto worker = [&] {
     // Once any worker fails, the others drain promptly instead of
@@ -37,7 +38,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(&error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;

@@ -1,0 +1,102 @@
+// Clang thread-safety-analysis attributes behind ACIC_* spellings.
+//
+// These macros make lock discipline *compile-time checked*: a field
+// declared `ACIC_GUARDED_BY(mutex_)` cannot be touched without holding
+// `mutex_`, and a helper declared `ACIC_REQUIRES(mutex_)` cannot be
+// called without it — `-Wthread-safety` (the ACIC_THREAD_SAFETY CMake
+// option promotes it to an error) rejects the program otherwise.  They
+// are the concurrency analogue of `acic::check` (DESIGN.md §5): value
+// contracts are executable, lock contracts are compilable.
+//
+// Under any compiler without the attribute family (GCC, MSVC) every
+// macro expands to nothing, so annotated code stays portable; the
+// analysis runs wherever Clang builds the tree (the `thread-safety`
+// CMake preset and CI job).  The negative-compile tests under
+// tests/negative_compile/ prove the macros are live under Clang — an
+// accidental no-op definition there would fail the suite.
+//
+// Only `acic::Mutex` (common/mutex.hpp) may be named as a capability;
+// raw std::mutex is banned outside that file by tools/lint/acic_lint.py.
+//
+// Attribute reference:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ACIC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef ACIC_THREAD_ANNOTATION_
+#define ACIC_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names the kind
+/// in diagnostics).
+#define ACIC_CAPABILITY(x) ACIC_THREAD_ANNOTATION_(capability(x))
+
+/// Declares a RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock, ReaderMutexLock).
+#define ACIC_SCOPED_CAPABILITY ACIC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define ACIC_GUARDED_BY(x) ACIC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define ACIC_PT_GUARDED_BY(x) ACIC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held exclusively (the
+/// `_locked()` helper contract).
+#define ACIC_REQUIRES(...) \
+  ACIC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held at least shared.
+#define ACIC_REQUIRES_SHARED(...) \
+  ACIC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define ACIC_ACQUIRE(...) \
+  ACIC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACIC_ACQUIRE_SHARED(...) \
+  ACIC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability acquired earlier.
+#define ACIC_RELEASE(...) \
+  ACIC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ACIC_RELEASE_SHARED(...) \
+  ACIC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define ACIC_RELEASE_GENERIC(...) \
+  ACIC_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; `result` is the success value.
+#define ACIC_TRY_ACQUIRE(result, ...) \
+  ACIC_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+#define ACIC_TRY_ACQUIRE_SHARED(result, ...) \
+  ACIC_THREAD_ANNOTATION_(try_acquire_shared_capability(result, __VA_ARGS__))
+
+/// Function must be called *without* the listed capabilities held —
+/// catches self-deadlock through re-entrant public APIs.
+#define ACIC_EXCLUDES(...) ACIC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-ordering edges for deadlock detection.
+#define ACIC_ACQUIRED_BEFORE(...) \
+  ACIC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACIC_ACQUIRED_AFTER(...) \
+  ACIC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define ACIC_RETURN_CAPABILITY(x) ACIC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code reached both
+/// with and without the lock, after an explicit check).
+#define ACIC_ASSERT_CAPABILITY(x) \
+  ACIC_THREAD_ANNOTATION_(assert_capability(x))
+#define ACIC_ASSERT_SHARED_CAPABILITY(x) \
+  ACIC_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Opt-out escape hatch.  Every use MUST carry a one-line justification
+/// comment on the same or the preceding line — tools/lint/acic_lint.py
+/// rejects bare suppressions.
+#define ACIC_NO_THREAD_SAFETY_ANALYSIS \
+  ACIC_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
+#include "acic/common/mutex.hpp"
 #include "acic/common/parallel.hpp"
 #include "acic/ior/ior.hpp"
 
@@ -30,7 +30,7 @@ PbRankingResult run_pb_ranking(const PbRankingOptions& options) {
   }
 
   result.response.assign(points.size(), 0.0);
-  std::mutex stats_mutex;
+  Mutex stats_mutex;
   parallel_for(
       points.size(),
       [&](std::size_t i) {
@@ -42,7 +42,7 @@ PbRankingResult run_pb_ranking(const PbRankingOptions& options) {
         result.response[i] = options.objective == Objective::kPerformance
                                  ? r.total_time
                                  : r.cost;
-        std::lock_guard<std::mutex> lock(stats_mutex);
+        MutexLock lock(&stats_mutex);
         ++result.stats.runs;
         result.stats.simulated_hours += r.total_time / kHour;
         result.stats.money += r.cost;

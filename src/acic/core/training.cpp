@@ -4,10 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "acic/common/error.hpp"
+#include "acic/common/mutex.hpp"
 #include "acic/common/parallel.hpp"
 #include "acic/common/rng.hpp"
 #include "acic/common/stats.hpp"
@@ -191,7 +191,7 @@ struct Measurement {
 Measurement measure_point(const io::Workload& workload,
                           const cloud::IoConfig& config,
                           std::uint64_t base_seed, const TrainingPlan& plan,
-                          TrainingStats& stats, std::mutex& stats_mutex) {
+                          TrainingStats& stats, Mutex& stats_mutex) {
   const SweepResilience& res = plan.resilience;
   const int repeats = std::max(1, res.repeats);
   const int attempts = std::max(1, res.max_attempts);
@@ -218,7 +218,7 @@ Measurement measure_point(const io::Workload& workload,
       const bool failed = r.outcome == io::RunOutcome::kFailed;
       const bool will_retry = failed && a + 1 < attempts;
       {
-        std::lock_guard<std::mutex> lock(stats_mutex);
+        MutexLock lock(&stats_mutex);
         ++stats.runs;
         stats.simulated_hours += r.total_time / kHour;
         stats.money += r.cost;
@@ -249,7 +249,7 @@ Measurement measure_point(const io::Workload& workload,
   m.rejected = static_cast<int>(filter.rejected);
   m.ok = true;
   if (filter.rejected > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(&stats_mutex);
     stats.rejected_outliers += filter.rejected;
   }
   return m;
@@ -319,11 +319,11 @@ TrainingStats collect_training_data(TrainingDatabase& db,
   }
 
   TrainingStats stats;
-  std::mutex stats_mutex;
+  Mutex stats_mutex;
   const auto baseline_cfg = cloud::IoConfig::baseline();
 
   const auto quarantine = [&](const Point& p) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    MutexLock lock(&stats_mutex);
     ++stats.quarantined;
     stats.quarantined_labels.push_back(ParamSpace::config_of(p).label() +
                                        "|" + workload_key(p));
@@ -343,7 +343,7 @@ TrainingStats collect_training_data(TrainingDatabase& db,
           // below rather than divide by a failed measurement.
           return;
         }
-        std::lock_guard<std::mutex> lock(stats_mutex);
+        MutexLock lock(&stats_mutex);
         baselines[workload_key(p)] = {m.time, m.cost};
       },
       plan.threads);

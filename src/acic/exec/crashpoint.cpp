@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 
 #include <unistd.h>
+
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
 
 namespace acic::exec {
 
@@ -14,16 +16,17 @@ namespace {
 // disarmed, so an unarmed process pays one relaxed load per store
 // write.  The site string is only read once `remaining` is non-zero,
 // under the mutex (arming and firing never race in practice — torture
-// tests arm before forking — but the lock keeps TSan honest).
+// tests arm before forking — but the lock keeps TSan and the
+// thread-safety analysis honest).
 std::atomic<std::size_t> g_remaining{0};
-std::mutex g_mutex;
-std::string g_site;           // guarded by g_mutex
-CrashMode g_mode = CrashMode::kBeforeWrite;  // guarded by g_mutex
+Mutex g_mutex;
+std::string g_site ACIC_GUARDED_BY(g_mutex);
+CrashMode g_mode ACIC_GUARDED_BY(g_mutex) = CrashMode::kBeforeWrite;
 
 }  // namespace
 
 void Crashpoints::arm(std::string site, std::size_t nth, CrashMode mode) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   g_site = std::move(site);
   g_mode = mode;
   g_remaining.store(nth, std::memory_order_release);
@@ -59,7 +62,7 @@ void Crashpoints::arm_from_env() {
 
 std::optional<CrashMode> Crashpoints::on_write(std::string_view site) {
   if (g_remaining.load(std::memory_order_acquire) == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(&g_mutex);
   std::size_t remaining = g_remaining.load(std::memory_order_relaxed);
   if (remaining == 0 || g_site != site) return std::nullopt;
   --remaining;

@@ -47,6 +47,10 @@ Executor::Executor(ExecutorOptions options) : options_(std::move(options)) {
     };
   }
   if (options_.cache && !options_.store_dir.empty()) {
+    // No other thread can see a half-constructed executor, but the
+    // degrade helper's lock contract is unconditional — take the
+    // (uncontended) lock rather than carve out a constructor exception.
+    MutexLock lock(&mutex_);
     try {
       store_ = std::make_shared<RunStore>(options_.store_dir);
       store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
@@ -68,11 +72,13 @@ Executor& Executor::global() {
 }
 
 void Executor::arm_store(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!options_.cache || store_ || dir.empty()) return;
   try {
+    // options_ stays untouched: it is immutable after construction so
+    // run() may read it without the lock.  The armed directory is
+    // recorded on the store itself (store_->dir()).
     store_ = std::make_shared<RunStore>(dir);
-    options_.store_dir = dir;
     store_bytes_->set(static_cast<double>(store_->bytes_on_disk()));
   } catch (const std::exception& e) {
     degrade_store_locked(e.what());
@@ -98,17 +104,17 @@ void Executor::degrade_store_locked(const char* why) {
 }
 
 bool Executor::has_store() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return store_ != nullptr;
 }
 
 bool Executor::store_degraded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return degraded_;
 }
 
 std::size_t Executor::memo_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return memo_.size();
 }
 
@@ -117,7 +123,29 @@ io::RunResult Executor::execute(const RunRequest& request) {
   return options_.run_fn(request);
 }
 
-void Executor::note_memo_footprint() {
+const io::RunResult* Executor::memo_probe_locked(const RunKey& key,
+                                                 RunInfo* info) {
+  const auto it = memo_.find(key);
+  if (it == memo_.end()) return nullptr;
+  cache_hits_->inc();
+  memo_hits_->inc();
+  if (info) info->source = RunSource::kMemo;
+  return &it->second;
+}
+
+void Executor::join_or_claim_locked(const RunKey& key,
+                                    std::shared_ptr<InFlight>& wait_on,
+                                    std::shared_ptr<InFlight>& owned) {
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    wait_on = it->second;
+  } else {
+    owned = std::make_shared<InFlight>();
+    owned->future = owned->promise.get_future().share();
+    inflight_.emplace(key, owned);
+  }
+}
+
+void Executor::note_memo_footprint_locked() {
   // Approximate: the memo holds flat structs, so entries * entry size is
   // within a small factor of the truth (hash-table overhead excluded).
   memo_entries_->set(static_cast<double>(memo_.size()));
@@ -140,36 +168,14 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
 
   std::shared_ptr<InFlight> wait_on;
   std::shared_ptr<InFlight> owned;
-  // Probes the memo tier; non-null means a hit whose counters and info
-  // are already accounted.  Callers must hold mutex_.
-  const auto memo_probe_locked = [&]() -> const io::RunResult* {
-    const auto it = memo_.find(key);
-    if (it == memo_.end()) return nullptr;
-    cache_hits_->inc();
-    memo_hits_->inc();
-    if (info) info->source = RunSource::kMemo;
-    return &it->second;
-  };
-  // Joins an in-flight simulation of this key, or claims ownership of a
-  // new one.  Callers must hold mutex_.
-  const auto join_or_claim_locked = [&] {
-    if (const auto it = inflight_.find(key); it != inflight_.end()) {
-      wait_on = it->second;
-    } else {
-      owned = std::make_shared<InFlight>();
-      owned->future = owned->promise.get_future().share();
-      inflight_.emplace(key, owned);
-    }
-  };
-
   std::shared_ptr<RunStore> store;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto* hit = memo_probe_locked()) return *hit;
+    MutexLock lock(&mutex_);
+    if (const auto* hit = memo_probe_locked(key, info)) return *hit;
     // Pin the store by value: a concurrent degradation drops store_,
     // and this reference is what keeps the object alive while we probe.
     store = store_;
-    if (!store) join_or_claim_locked();
+    if (!store) join_or_claim_locked(key, wait_on, owned);
   }
 
   if (store) {
@@ -180,19 +186,19 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     // throws by contract (replay of other writers' rows is best-effort),
     // so the probe cannot degrade the store.
     const auto hit = store->lookup(key);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // Re-check the memo: another thread may have installed the result
     // while we were probing without the lock.
-    if (const auto* memo_hit = memo_probe_locked()) return *memo_hit;
+    if (const auto* memo_hit = memo_probe_locked(key, info)) return *memo_hit;
     if (hit) {
       memo_.emplace(key, *hit);
-      note_memo_footprint();
+      note_memo_footprint_locked();
       cache_hits_->inc();
       store_hits_->inc();
       if (info) info->source = RunSource::kStore;
       return *hit;
     }
-    join_or_claim_locked();
+    join_or_claim_locked(key, wait_on, owned);
   }
 
   if (wait_on) {
@@ -209,7 +215,7 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     result = execute(request);
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       inflight_.erase(key);
     }
     owned->promise.set_exception(std::current_exception());
@@ -217,13 +223,13 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // Failed runs are cached *as failures*: the full result including
     // its RunOutcome grade goes in, so a warm hit can never pass a
     // meaningless timing off as a measurement.
     memo_.emplace(key, result);
     inflight_.erase(key);
-    note_memo_footprint();
+    note_memo_footprint_locked();
     // Re-pin under the lock: arm_store may have armed the tier since
     // the probe, and a peer's degradation may have dropped it.  The
     // shared_ptr keeps the store alive through the put even if a peer
@@ -237,7 +243,7 @@ io::RunResult Executor::run(const RunRequest& request, RunInfo* info) {
     } catch (const std::exception& e) {
       // The result is already acknowledged in the memo tier; losing the
       // persistent copy demotes the store, never the caller's run.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (store_ == store) degrade_store_locked(e.what());
     }
   }

@@ -36,12 +36,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
 #include "acic/exec/runkey.hpp"
 #include "acic/exec/store.hpp"
 #include "acic/io/runner.hpp"
@@ -105,7 +106,8 @@ class Executor {
   /// Execute one request through the cache tiers.  Deterministic inputs
   /// mean a hit is bit-identical to a fresh run.  Throws whatever the
   /// underlying simulation throws (invalid workload/config).
-  io::RunResult run(const RunRequest& request, RunInfo* info = nullptr);
+  io::RunResult run(const RunRequest& request, RunInfo* info = nullptr)
+      ACIC_EXCLUDES(mutex_);
 
   /// Batch scheduler: collapses duplicate keys, fans unique work across
   /// parallel_for, and scatters results so response i answers request i.
@@ -119,16 +121,19 @@ class Executor {
   /// Arm the persistent tier at `dir` if none is armed yet (idempotent;
   /// a second call with a different directory is ignored).  A directory
   /// that cannot be opened degrades to memo-only instead of throwing.
-  void arm_store(const std::string& dir);
-  bool has_store() const;
+  void arm_store(const std::string& dir) ACIC_EXCLUDES(mutex_);
+  bool has_store() const ACIC_EXCLUDES(mutex_);
 
   /// True once any store I/O failure (unopenable directory, failed
   /// append, ENOSPC, EROFS) demoted this executor to memo-only.  Also
   /// visible process-wide as the `exec.store.degraded` gauge; the first
   /// degradation prints a one-shot warning to stderr.
-  bool store_degraded() const;
+  bool store_degraded() const ACIC_EXCLUDES(mutex_);
 
-  std::size_t memo_size() const;
+  std::size_t memo_size() const ACIC_EXCLUDES(mutex_);
+  /// Construction-time options.  Immutable after the constructor (run()
+  /// reads `cache`/`run_fn` without the lock on that basis); the armed
+  /// store directory lives on the RunStore itself, not here.
   const ExecutorOptions& options() const { return options_; }
 
  private:
@@ -138,18 +143,31 @@ class Executor {
   };
 
   io::RunResult execute(const RunRequest& request);
-  void note_memo_footprint();
-  void degrade_store_locked(const char* why);
+  /// Probes the memo tier; non-null means a hit whose counters and
+  /// `info` provenance are already accounted.
+  const io::RunResult* memo_probe_locked(const RunKey& key, RunInfo* info)
+      ACIC_REQUIRES(mutex_);
+  /// Joins an in-flight simulation of `key` (fills `wait_on`) or claims
+  /// ownership of a new one (fills `owned` and registers it).
+  void join_or_claim_locked(const RunKey& key,
+                            std::shared_ptr<InFlight>& wait_on,
+                            std::shared_ptr<InFlight>& owned)
+      ACIC_REQUIRES(mutex_);
+  void note_memo_footprint_locked() ACIC_REQUIRES(mutex_);
+  void degrade_store_locked(const char* why) ACIC_REQUIRES(mutex_);
 
+  // Immutable after construction (see options()).
   ExecutorOptions options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<RunKey, io::RunResult, RunKeyHash> memo_;
-  std::unordered_map<RunKey, std::shared_ptr<InFlight>, RunKeyHash> inflight_;
+  mutable Mutex mutex_;
+  std::unordered_map<RunKey, io::RunResult, RunKeyHash> memo_
+      ACIC_GUARDED_BY(mutex_);
+  std::unordered_map<RunKey, std::shared_ptr<InFlight>, RunKeyHash> inflight_
+      ACIC_GUARDED_BY(mutex_);
   // shared_ptr so callers can pin the store by value and use it outside
   // mutex_; degradation drops this reference, but a pinned store stays
   // alive until every in-flight put()/lookup() returns.
-  std::shared_ptr<RunStore> store_;
-  bool degraded_ = false;
+  std::shared_ptr<RunStore> store_ ACIC_GUARDED_BY(mutex_);
+  bool degraded_ ACIC_GUARDED_BY(mutex_) = false;
   std::atomic<bool> store_degradation_warned_{false};
 
   // Process-wide instruments, resolved once so the hot path never takes

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>  // std::once_flag / std::call_once only (see acic_lint.py)
 #include <sstream>
 #include <string_view>
 #include <utility>
@@ -257,6 +258,11 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
     throw Error("cannot create run store lock in " + dir_ + ": " + strerr());
   }
 
+  // The mutex is uncontended during construction (no other thread sees
+  // this instance yet), but the recovery helpers' lock contracts are
+  // unconditional — hold it rather than carve out a constructor
+  // exception.  Lock order holds: mutex_ before the flock.
+  MutexLock lock(&mutex_);
   // Fast path under a shared lock: a clean file (the common case) loads
   // without blocking concurrent readers or appenders.
   {
@@ -506,7 +512,7 @@ std::string RunStore::frame(const std::string& payload) {
 }
 
 std::optional<io::RunResult> RunStore::lookup(const RunKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (const auto it = rows_.find(key); it != rows_.end()) return it->second;
   // Miss: another process sharing this directory may have appended the
   // run since we last read — replay before giving up.
@@ -592,7 +598,7 @@ void RunStore::replay_appended_locked() {
 }
 
 void RunStore::put(const RunKey& key, const io::RunResult& result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto [it, inserted] = rows_.emplace(key, result);
   if (!inserted) return;  // already present (content-addressed)
   try {
@@ -660,7 +666,7 @@ void RunStore::append_record(const std::string& line) {
 }
 
 void RunStore::compact() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ScopedFileLock exclusive(*lock_, ScopedFileLock::Mode::kExclusive);
   if (!exclusive.held()) throw Error("cannot lock run store " + dir_);
   // Merge the on-disk state first: compaction must never drop a record
@@ -675,7 +681,7 @@ void RunStore::compact() {
 }
 
 std::size_t RunStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return rows_.size();
 }
 

@@ -42,7 +42,24 @@
 //    no longer both write the header).  A lookup miss replays records
 //    appended by other processes since the last read; a compaction by
 //    another process (inode change) triggers a full reload.
-//    Lock order: the store mutex is always taken before the file lock.
+//
+// Two lock layers, one order (DESIGN.md §11).  The store is protected
+// by two orthogonal locks that must never be conflated:
+//
+//    acic::Mutex mutex_   — *in-process* exclusion.  Guards the
+//                           in-memory row map, the stats counters and
+//                           the replay cursor; compile-time checked via
+//                           ACIC_GUARDED_BY/ACIC_REQUIRES under Clang
+//                           `-Wthread-safety`.
+//    flock(.store.lock)   — *cross-process* coordination.  Guards the
+//                           bytes of runs.csv against other processes;
+//                           invisible to the static analysis (the OS
+//                           holds it), so its discipline lives in the
+//                           ScopedFileLock call sites below.
+//
+//    Lock order: mutex_ is ALWAYS acquired before the file lock and
+//    released after it.  The file lock never wraps a mutex_ acquire,
+//    so the two layers cannot deadlock against each other.
 //
 // Failure policy: constructor, put() and compact() throw acic::Error on
 // I/O failure (the Executor catches and degrades to memo-only);
@@ -57,13 +74,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "acic/common/filelock.hpp"
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
 #include "acic/exec/runkey.hpp"
 #include "acic/io/runner.hpp"
 
@@ -86,32 +104,52 @@ class RunStore {
 
   /// Cache probe.  A miss replays records appended by other processes
   /// before answering.  Never throws.
-  std::optional<io::RunResult> lookup(const RunKey& key);
+  std::optional<io::RunResult> lookup(const RunKey& key)
+      ACIC_EXCLUDES(mutex_);
 
   /// Insert-or-ignore: the store is content-addressed, so a key that is
   /// already present keeps its existing (identical) row.  The insert is
   /// acknowledged only once the framed record is durably appended;
   /// on failure the row is rolled back and acic::Error is thrown.
-  void put(const RunKey& key, const io::RunResult& result);
+  void put(const RunKey& key, const io::RunResult& result)
+      ACIC_EXCLUDES(mutex_);
 
   /// Atomically rewrites runs.csv as header + the full merged row set
   /// (other writers' records are replayed first, so compaction never
   /// drops their acknowledged rows).  Throws acic::Error on I/O failure.
-  void compact();
+  void compact() ACIC_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const ACIC_EXCLUDES(mutex_);
+  // The stats accessors lock: the counters are mutated under mutex_ by
+  // concurrent lookup()-replay and compact(), so an unlocked read was a
+  // (thread-safety-analysis-caught) data race.
   /// Corrupt records sidelined to quarantine.csv by this instance.
-  std::size_t quarantined() const { return quarantined_; }
+  std::size_t quarantined() const ACIC_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return quarantined_;
+  }
   /// Corrupt records whose forensic copy could not be written (the
   /// quarantine.csv append itself failed); they left the live set but
   /// are not preserved.
-  std::size_t quarantine_dropped() const { return quarantine_dropped_; }
+  std::size_t quarantine_dropped() const ACIC_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return quarantine_dropped_;
+  }
   /// Torn tail records truncated during recovery by this instance.
-  std::size_t torn_tails() const { return torn_tails_; }
+  std::size_t torn_tails() const ACIC_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return torn_tails_;
+  }
   /// Records appended by other writers and replayed on lookup miss.
-  std::size_t replayed() const { return replayed_; }
+  std::size_t replayed() const ACIC_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return replayed_;
+  }
   /// Atomic rewrites (open-time repair + explicit compact()) performed.
-  std::size_t compactions() const { return compactions_; }
+  std::size_t compactions() const ACIC_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return compactions_;
+  }
   /// Current size of runs.csv in bytes (0 when nothing is cached yet).
   std::uint64_t bytes_on_disk() const;
 
@@ -127,32 +165,42 @@ class RunStore {
  private:
   struct ScanResult;
 
+  // scan_file() reads only immutable paths (and the file itself under
+  // the caller's flock), so it carries no lock contract; every helper
+  // that touches the in-memory state requires mutex_.
   ScanResult scan_file() const;
-  bool adopt_clean_scan(const ScanResult& scan);
-  void recover_exclusive();
-  void note_torn_tail();
-  void quarantine_records(const std::vector<std::string>& lines);
-  void rewrite_locked();
-  void append_record(const std::string& line);
-  void replay_appended_locked();
-  void refresh_replay_position();
+  bool adopt_clean_scan(const ScanResult& scan) ACIC_REQUIRES(mutex_);
+  void recover_exclusive() ACIC_REQUIRES(mutex_);
+  void note_torn_tail() ACIC_REQUIRES(mutex_);
+  void quarantine_records(const std::vector<std::string>& lines)
+      ACIC_REQUIRES(mutex_);
+  void rewrite_locked() ACIC_REQUIRES(mutex_);
+  void append_record(const std::string& line) ACIC_REQUIRES(mutex_);
+  void replay_appended_locked() ACIC_REQUIRES(mutex_);
+  void refresh_replay_position() ACIC_REQUIRES(mutex_);
 
+  // Immutable after construction.
   std::string dir_;
   std::string runs_path_;
   std::string tmp_path_;
   std::unique_ptr<FileLock> lock_;
-  mutable std::mutex mutex_;
-  std::unordered_map<RunKey, io::RunResult, RunKeyHash> rows_;
-  std::size_t quarantined_ = 0;
-  std::size_t quarantine_dropped_ = 0;
-  std::size_t torn_tails_ = 0;
-  std::size_t replayed_ = 0;
-  std::size_t compactions_ = 0;
+
+  // In-process state: everything below is guarded by mutex_ (the
+  // cross-process flock guards the *file*, never these members — see
+  // the layering note in the file comment).
+  mutable Mutex mutex_;
+  std::unordered_map<RunKey, io::RunResult, RunKeyHash> rows_
+      ACIC_GUARDED_BY(mutex_);
+  std::size_t quarantined_ ACIC_GUARDED_BY(mutex_) = 0;
+  std::size_t quarantine_dropped_ ACIC_GUARDED_BY(mutex_) = 0;
+  std::size_t torn_tails_ ACIC_GUARDED_BY(mutex_) = 0;
+  std::size_t replayed_ ACIC_GUARDED_BY(mutex_) = 0;
+  std::size_t compactions_ ACIC_GUARDED_BY(mutex_) = 0;
 
   // Replay cursor: how far into runs.csv (and which inode) this
-  // instance has consumed.  Guarded by mutex_.
-  std::uint64_t replay_ino_ = 0;
-  std::uint64_t replay_offset_ = 0;
+  // instance has consumed.
+  std::uint64_t replay_ino_ ACIC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t replay_offset_ ACIC_GUARDED_BY(mutex_) = 0;
 
   // Process-wide instruments (exec.store.*), resolved once.
   obs::Counter* torn_metric_;

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "acic/common/csv.hpp"
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
 
 namespace acic::obs {
 
@@ -155,28 +156,34 @@ class MetricsRegistry {
   /// Find-or-create.  Re-registering a name under a different kind (or a
   /// histogram under different bounds) throws acic::Error.  Returned
   /// references live as long as the registry.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) ACIC_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) ACIC_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& upper_bounds =
-                           latency_buckets_us());
+                           latency_buckets_us()) ACIC_EXCLUDES(mutex_);
 
   /// Deep, point-in-time copy of every instrument.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const ACIC_EXCLUDES(mutex_);
 
   /// Zero every instrument (registered handles stay valid).  Meant for
   /// tests and between benchmark repetitions, not the serving path.
-  void reset_all();
+  void reset_all() ACIC_EXCLUDES(mutex_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  void claim_name(const std::string& name, Kind kind);
+  void claim_name(const std::string& name, Kind kind) ACIC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Kind> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The mutex guards instrument *creation* and snapshotting only;
+  // hot-path writes go through the returned references' relaxed
+  // atomics and never take it.
+  mutable Mutex mutex_;
+  std::map<std::string, Kind> kinds_ ACIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ACIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      ACIC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ACIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace acic::obs

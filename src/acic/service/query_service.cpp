@@ -211,9 +211,11 @@ QueryService::QueryService(core::TrainingDatabase database,
   fallback_answers_ = &registry.counter("service.fallback_answers");
   engine_build_failures_ =
       &registry.counter("service.engine_build_failures");
+  engine_builds_ = &registry.counter("service.engine_builds");
+  train_latency_us_ = &registry.histogram("service.train_latency_us");
 
-  obs::Timer train_timer(registry.histogram("service.train_latency_us"));
-  registry.counter("service.engine_builds").inc();
+  obs::Timer train_timer(*train_latency_us_);
+  engine_builds_->inc();
   auto first = std::make_shared<const Engine>(std::move(database),
                                               std::move(ranking));
   if (first->degraded()) engine_build_failures_->inc();
@@ -221,9 +223,8 @@ QueryService::QueryService(core::TrainingDatabase database,
 }
 
 void QueryService::update_database(core::TrainingDatabase database) {
-  auto& registry = obs::MetricsRegistry::global();
-  obs::Timer train_timer(registry.histogram("service.train_latency_us"));
-  registry.counter("service.engine_builds").inc();
+  obs::Timer train_timer(*train_latency_us_);
+  engine_builds_->inc();
   // Train the replacement engine *before* publishing it: readers keep
   // answering from the old snapshot during the (expensive) build, then
   // pick up the new one on their next request.

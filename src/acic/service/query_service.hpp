@@ -40,11 +40,12 @@
 #include <atomic>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
 #include "acic/core/predictor.hpp"
 #include "acic/core/ranking.hpp"
 #include "acic/core/training.hpp"
@@ -152,12 +153,12 @@ class QueryService {
   // std::atomic<shared_ptr>: the critical sections are two instructions
   // wide, and libstdc++'s lock-bit _Sp_atomic confuses TSan (the tsan CI
   // preset is how this file's guarantees are enforced).
-  EngineRef engine() const {
-    std::lock_guard<std::mutex> lock(engine_mutex_);
+  EngineRef engine() const ACIC_EXCLUDES(engine_mutex_) {
+    MutexLock lock(&engine_mutex_);
     return engine_;
   }
-  void publish(EngineRef next) {
-    std::lock_guard<std::mutex> lock(engine_mutex_);
+  void publish(EngineRef next) ACIC_EXCLUDES(engine_mutex_) {
+    MutexLock lock(&engine_mutex_);
     engine_ = std::move(next);
   }
 
@@ -186,8 +187,8 @@ class QueryService {
   };
   const VerbMetrics& metrics_for(const std::string& verb) const;
 
-  mutable std::mutex engine_mutex_;
-  EngineRef engine_;
+  mutable Mutex engine_mutex_;
+  EngineRef engine_ ACIC_GUARDED_BY(engine_mutex_);
   ServiceOptions options_;
   std::atomic<std::size_t> in_flight_{0};
   VerbMetrics recommend_metrics_;
@@ -201,6 +202,12 @@ class QueryService {
   obs::Counter* deadline_exceeded_ = nullptr;
   obs::Counter* fallback_answers_ = nullptr;
   obs::Counter* engine_build_failures_ = nullptr;
+  // Resolved once in the constructor: the engine-rebuild instruments
+  // used by both the constructor and update_database().  (They used to
+  // be re-registered inline at each call site — two registration sites
+  // for one name, which the acic-lint metrics rule now rejects.)
+  obs::Counter* engine_builds_ = nullptr;
+  obs::Histogram* train_latency_us_ = nullptr;
 };
 
 }  // namespace acic::service

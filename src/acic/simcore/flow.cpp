@@ -21,6 +21,15 @@ bool flow_done(Bytes remaining, double rate) {
   if (remaining <= kEpsilonBytes) return true;
   return rate > 0.0 && remaining <= rate * kTimeQuantum;
 }
+
+bool path_is_duplicate_free(const std::vector<ResourceId>& path) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) return false;
+    }
+  }
+  return true;
+}
 }  // namespace
 
 ResourceId FlowNetwork::add_resource(std::string name, double capacity) {
@@ -60,16 +69,8 @@ FlowId FlowNetwork::start_flow(std::vector<ResourceId> path, Bytes bytes,
   // Duplicate resources in one path would double-count the flow against
   // that resource in the max-min solve (documented contract; O(p^2) over
   // paths of length <= 4, so debug tier only).
-  ACIC_DCHECK(
-      [&path] {
-        for (std::size_t i = 0; i < path.size(); ++i) {
-          for (std::size_t j = i + 1; j < path.size(); ++j) {
-            if (path[i] == path[j]) return false;
-          }
-        }
-        return true;
-      }(),
-      "flow path crosses the same resource twice");
+  ACIC_DCHECK(path_is_duplicate_free(path),
+              "flow path crosses the same resource twice");
   ACIC_EXPECTS(bytes >= 0.0, "negative flow size " << bytes);
 
   const FlowId id = next_flow_id_++;

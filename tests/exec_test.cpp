@@ -522,6 +522,36 @@ TEST(ExecConcurrency, ConcurrentCallersCoalesceOntoOneRun) {
   }
 }
 
+// Regression: arm_store() used to write options_.store_dir under the
+// lock while run() read options_ unlocked — a data race TSan could
+// trigger whenever a store was armed mid-traffic.  options_ is now
+// immutable after construction (the armed directory lives on the store
+// itself), so arming while runs are in flight must be clean.
+TEST(ExecConcurrency, ArmStoreRacesConcurrentRuns) {
+  TempDir dir("arm_race");
+  FakeEngine fake;  // starts with no store
+  const auto w = test_workload();
+  const auto candidates = cloud::IoConfig::enumerate_candidates();
+
+  std::thread traffic([&] {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      fake.executor.run(
+          exec::RunRequest{w, candidates[i], io::RunOptions{}});
+    }
+  });
+  fake.executor.arm_store(dir.str());
+  traffic.join();
+
+  EXPECT_TRUE(fake.executor.has_store());
+  EXPECT_FALSE(fake.executor.store_degraded());
+  // Runs finishing after the arm land in the store; a rerun of the last
+  // key is a cache hit, not a new simulation.
+  const int before = fake.executions.load();
+  fake.executor.run(
+      exec::RunRequest{w, candidates.back(), io::RunOptions{}});
+  EXPECT_EQ(fake.executions.load(), before);
+}
+
 TEST(ExecConcurrency, ConcurrentDistinctBatchesStayConsistent) {
   FakeEngine fake;
   const auto w = test_workload();

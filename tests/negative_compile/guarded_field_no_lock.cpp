@@ -1,0 +1,26 @@
+// Negative-compile case: writing an ACIC_GUARDED_BY member without
+// holding its mutex must fail under Clang's -Werror=thread-safety.
+// Registered with WILL_FAIL in tests/CMakeLists.txt (Clang only).
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    balance_ += amount;  // expected-error: writing without mutex_ held
+  }
+
+ private:
+  acic::Mutex mutex_;
+  long balance_ ACIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative-compile case: calling an ACIC_REQUIRES helper without the
+// lock held must fail under Clang's -Werror=thread-safety.  Registered
+// with WILL_FAIL in tests/CMakeLists.txt (Clang only).
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) {
+    push_locked(v);  // expected-error: requires mutex_, not held
+  }
+
+ private:
+  void push_locked(int v) ACIC_REQUIRES(mutex_) { pending_ += v; }
+
+  acic::Mutex mutex_;
+  int pending_ ACIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(7);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Positive control for the negative-compile harness: the same shapes
+// as the violation cases, but correctly locked.  Must compile cleanly
+// under every supported compiler, including Clang with
+// -Werror=thread-safety — if this file ever fails, the harness (not the
+// annotations) is broken.
+#include "acic/common/mutex.hpp"
+#include "acic/common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    acic::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+  long balance() const {
+    acic::ReaderMutexLock lock(&mutex_);
+    return balance_;
+  }
+
+ private:
+  mutable acic::Mutex mutex_;
+  long balance_ ACIC_GUARDED_BY(mutex_) = 0;
+};
+
+class Queue {
+ public:
+  void push(int v) {
+    acic::MutexLock lock(&mutex_);
+    push_locked(v);
+    ready_.notify_one();
+  }
+  int drain() {
+    acic::MutexLock lock(&mutex_);
+    // Plain wait loop rather than the predicate overload: the analysis
+    // does not propagate lock context into lambda bodies.
+    while (pending_ == 0) ready_.wait(mutex_);
+    const int got = pending_;
+    pending_ = 0;
+    return got;
+  }
+
+ private:
+  void push_locked(int v) ACIC_REQUIRES(mutex_) { pending_ += v; }
+
+  acic::Mutex mutex_;
+  acic::CondVar ready_;
+  int pending_ ACIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  Queue q;
+  q.push(static_cast<int>(a.balance()));
+  return q.drain() == 1 ? 0 : 1;
+}

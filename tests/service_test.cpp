@@ -203,6 +203,28 @@ TEST(QueryServiceTest, UpdateDatabaseRetrains) {
   EXPECT_NE(before, after);
 }
 
+// Regression: service.engine_builds / service.train_latency_us used to
+// be re-registered inline at both the constructor and update_database()
+// — two registration sites for one name, which tools/lint/acic_lint.py
+// now rejects.  The counter is registered once and must keep counting
+// across rebuilds.
+TEST(QueryServiceTest, EngineBuildMetricsCountAcrossRebuilds) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto counter_at = [&] {
+    const auto snap = registry.snapshot();
+    const double* v = snap.counter("service.engine_builds");
+    return v ? *v : 0.0;
+  };
+  const double before = counter_at();
+  auto svc = make_service();  // constructor: one engine build
+  svc.update_database(synthetic_db());  // one more
+  EXPECT_NEAR(counter_at() - before, 2.0, 1e-9);
+  const auto snap = registry.snapshot();
+  const auto* lat = snap.histogram("service.train_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->count, 2u);
+}
+
 TEST(QueryServiceTest, ReportsErrorsOnBadCounts) {
   auto svc = make_service();
   const auto bad_k = svc.handle(

@@ -510,6 +510,51 @@ TEST(RunStoreSharing, ConcurrentWritersLoseNothing) {
   EXPECT_EQ(fresh.torn_tails(), 0u);
 }
 
+// Regression: the stats accessors (quarantined(), replayed(),
+// compactions(), ...) used to read their counters without taking the
+// store mutex, racing with replay/compaction on another thread.  They
+// now lock; this test makes TSan (RunStoreSharing.* is in the tsan
+// filter) prove it by polling them while two instances write, replay,
+// and compact.
+TEST(RunStoreSharing, StatsAccessorsAreSafeDuringConcurrentWrites) {
+  TempDir dir("stats_race");
+  exec::RunStore a(dir.str());
+  exec::RunStore b(dir.str());
+  constexpr int kEach = 12;
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::size_t sink = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      sink += a.quarantined() + a.quarantine_dropped() + a.torn_tails() +
+              a.replayed() + a.compactions() + b.replayed() +
+              b.compactions();
+    }
+    // The counters only grow, so the final poll is an upper bound of
+    // any earlier one (keeps `sink` observable, not optimised away).
+    EXPECT_GE(a.replayed() + b.replayed() + sink, sink);
+  });
+
+  std::thread writer_a([&] {
+    for (int i = 0; i < kEach; ++i) a.put(key_for(i), result_for(i));
+    a.compact();
+  });
+  std::thread writer_b([&] {
+    for (int i = kEach; i < 2 * kEach; ++i) {
+      b.put(key_for(i), result_for(i));
+      (void)b.lookup(key_for(0));  // force replay of A's appends
+    }
+  });
+  writer_a.join();
+  writer_b.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  exec::RunStore fresh(dir.str());
+  EXPECT_EQ(fresh.size(), static_cast<std::size_t>(2 * kEach));
+  EXPECT_EQ(fresh.quarantined(), 0u);
+}
+
 // --------------------------------------------------------------------
 // Crash torture: kill a writer at every write point
 // --------------------------------------------------------------------
