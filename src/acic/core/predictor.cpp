@@ -22,17 +22,45 @@ Acic::Acic(const TrainingDatabase& db, Objective objective,
 double Acic::predict(const cloud::IoConfig& config,
                      const io::Workload& traits) const {
   const Point p = ParamSpace::encode(config, traits);
-  return model_->predict(std::vector<double>(p.begin(), p.end()));
+  return model_->predict(std::span<const double>(p.data(), p.size()));
+}
+
+std::vector<double> Acic::predict_points(std::span<const Point> points) const {
+  std::vector<double> out(points.size());
+  if (points.empty()) return out;
+  std::vector<double> matrix;
+  matrix.reserve(points.size() * kNumDims);
+  for (const Point& p : points) {
+    matrix.insert(matrix.end(), p.begin(), p.end());
+  }
+  model_->predict_batch(matrix, points.size(), out);
+  return out;
+}
+
+std::vector<double> Acic::predict_batch(
+    std::span<const cloud::IoConfig> configs,
+    const io::Workload& traits) const {
+  std::vector<double> out(configs.size());
+  if (configs.empty()) return out;
+  std::vector<double> matrix;
+  matrix.reserve(configs.size() * kNumDims);
+  for (const auto& c : configs) {
+    const Point p = ParamSpace::encode(c, traits);
+    matrix.insert(matrix.end(), p.begin(), p.end());
+  }
+  model_->predict_batch(matrix, configs.size(), out);
+  return out;
 }
 
 std::vector<Recommendation> Acic::recommend(
     const io::Workload& traits, std::size_t top_k,
     const std::vector<cloud::IoConfig>& candidates) const {
   ACIC_CHECK(!candidates.empty());
+  const std::vector<double> scores = predict_batch(candidates, traits);
   std::vector<Recommendation> recs;
   recs.reserve(candidates.size());
-  for (const auto& c : candidates) {
-    recs.push_back(Recommendation{c, predict(c, traits)});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    recs.push_back(Recommendation{candidates[i], scores[i]});
   }
   std::stable_sort(recs.begin(), recs.end(),
                    [](const Recommendation& a, const Recommendation& b) {

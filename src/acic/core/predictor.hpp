@@ -6,9 +6,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "acic/cloud/ioconfig.hpp"
+#include "acic/core/paramspace.hpp"
 #include "acic/core/training.hpp"
 #include "acic/io/workload.hpp"
 #include "acic/ml/cart.hpp"
@@ -35,6 +37,17 @@ class Acic {
   /// Predicted improvement of one (config, characteristics) pair.
   double predict(const cloud::IoConfig& config,
                  const io::Workload& traits) const;
+
+  /// Batch-predict pre-encoded exploration points in one model pass
+  /// (flat-tree fast path when the model supports it).  Results are
+  /// bit-identical to calling predict() per point.
+  std::vector<double> predict_points(std::span<const Point> points) const;
+
+  /// Batch-predict many candidate configurations for one application:
+  /// encodes all (config, traits) pairs into a single contiguous matrix
+  /// and evaluates it in one pass.
+  std::vector<double> predict_batch(std::span<const cloud::IoConfig> configs,
+                                    const io::Workload& traits) const;
 
   /// Rank all candidate configurations for an application, best first.
   /// `candidates` defaults to the full Table 1 system enumeration.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 
 #include "acic/common/mutex.hpp"
 #include "acic/common/parallel.hpp"
@@ -57,6 +59,52 @@ PbRankingResult run_pb_ranking(const PbRankingOptions& options) {
   result.importance = PbDesign::ranking(result.effects);
   result.rank_of_each = PbDesign::rank_of_each(result.effects);
   return result;
+}
+
+std::vector<DimensionSpread> model_dimension_spread(
+    const Acic& model, const io::Workload& traits,
+    const std::vector<cloud::IoConfig>& candidates) {
+  ACIC_CHECK(!candidates.empty());
+  // One contiguous pass over every candidate; the per-dimension grouping
+  // below then only shuffles 56 precomputed scores around.
+  const std::vector<double> scores = model.predict_batch(candidates, traits);
+  std::vector<Point> points;
+  points.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    points.push_back(ParamSpace::encode(c, traits));
+  }
+
+  std::vector<DimensionSpread> spreads;
+  for (const auto& spec : ParamSpace::dimensions()) {
+    if (!spec.is_system) continue;
+    // Mean predicted improvement per value this dimension actually takes
+    // across the (validity-filtered) candidate set.
+    std::map<double, std::pair<double, std::size_t>> by_value;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      auto& [sum, count] = by_value[points[i][spec.dim]];
+      sum += scores[i];
+      ++count;
+    }
+    DimensionSpread s;
+    s.dim = spec.dim;
+    s.name = spec.name;
+    if (by_value.size() >= 2) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const auto& [value, acc] : by_value) {
+        const double mean = acc.first / static_cast<double>(acc.second);
+        lo = std::min(lo, mean);
+        hi = std::max(hi, mean);
+      }
+      s.spread = hi - lo;
+    }
+    spreads.push_back(std::move(s));
+  }
+  std::stable_sort(spreads.begin(), spreads.end(),
+                   [](const DimensionSpread& a, const DimensionSpread& b) {
+                     return a.spread > b.spread;
+                   });
+  return spreads;
 }
 
 }  // namespace acic::core

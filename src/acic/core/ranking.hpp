@@ -6,10 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "acic/cloud/ioconfig.hpp"
 #include "acic/core/pbdesign.hpp"
+#include "acic/core/predictor.hpp"
 #include "acic/core/training.hpp"
+#include "acic/io/workload.hpp"
 
 namespace acic::core {
 
@@ -37,5 +41,25 @@ struct PbRankingOptions {
 /// Execute the 32-run foldover screening with IOR on the simulated cloud
 /// and rank all 15 dimensions.
 PbRankingResult run_pb_ranking(const PbRankingOptions& options = {});
+
+/// Model-side importance of one system dimension for a specific
+/// application: the spread (max minus min) of the mean predicted
+/// improvement across the dimension's candidate values.
+struct DimensionSpread {
+  Dim dim = kDevice;
+  std::string name;
+  double spread = 0.0;
+};
+
+/// Complement to the PB screening: instead of 32 fresh simulations, one
+/// batch prediction over every candidate configuration (a single
+/// flat-tree pass) measures how much the *trained model* thinks each
+/// system dimension matters for this application.  Sorted most important
+/// first; free once a model exists, and workload-specific where the PB
+/// ranking is global.
+std::vector<DimensionSpread> model_dimension_spread(
+    const Acic& model, const io::Workload& traits,
+    const std::vector<cloud::IoConfig>& candidates =
+        cloud::IoConfig::enumerate_candidates());
 
 }  // namespace acic::core

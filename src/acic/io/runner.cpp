@@ -68,12 +68,18 @@ RunResult run_workload(const Workload& workload,
   // is a simulator bug and throws.
   SimTime watchdog = options.watchdog_sim_time;
   if (watchdog <= 0.0 && faults.any()) watchdog = 24.0 * kHour;
-  if (watchdog > 0.0) {
-    if (!simulator.run_until_processes_done_or(watchdog)) {
-      result.outcome = RunOutcome::kFailed;
+  {
+    // Wall-clock of the simulation itself (the perf gate reads its
+    // p50/p99); setup and the metrics roll-up below stay outside.
+    obs::Timer wall_timer(obs::MetricsRegistry::global().histogram(
+        "io.sim_wall_us", obs::latency_buckets_us()));
+    if (watchdog > 0.0) {
+      if (!simulator.run_until_processes_done_or(watchdog)) {
+        result.outcome = RunOutcome::kFailed;
+      }
+    } else {
+      simulator.run_until_processes_done();
     }
-  } else {
-    simulator.run_until_processes_done();
   }
 
   // Cancel unfired fault events *before* reading the event count, so a

@@ -23,29 +23,56 @@ struct SplitChoice {
 }  // namespace
 
 CartTree CartTree::train(const Dataset& data, const CartParams& params) {
-  ACIC_EXPECTS(data.rows() > 0, "cannot fit CART on an empty dataset");
+  std::vector<std::size_t> rows(data.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  return train_on_rows(data, rows, params);
+}
+
+CartTree CartTree::train_on_rows(const Dataset& data,
+                                 std::span<const std::size_t> rows,
+                                 const CartParams& params) {
+  ACIC_EXPECTS(!rows.empty(), "cannot fit CART on an empty row view");
   ACIC_EXPECTS(params.max_depth >= 1,
                "CART max_depth must be >= 1, got " << params.max_depth);
   ACIC_EXPECTS(params.min_samples_leaf >= 1 && params.min_samples_split >= 2,
                "degenerate CART split parameters: min_samples_leaf="
                    << params.min_samples_leaf
                    << " min_samples_split=" << params.min_samples_split);
+  ACIC_DCHECK(
+      [&] {
+        for (std::size_t r : rows) {
+          if (r >= data.rows()) return false;
+        }
+        return true;
+      }(),
+      "row view references a row outside the dataset");
   CartTree tree;
 
-  const Dataset* train = &data;
-  Dataset train_part, val_part;
-  if (params.prune_holdout >= 2 &&
-      data.rows() >= 4 * params.prune_holdout) {
-    std::tie(train_part, val_part) =
-        data.split_validation(params.prune_holdout);
-    train = &train_part;
+  // Replicate split_validation()'s deterministic every-k-th holdout over
+  // the view: position i of the view goes to validation iff
+  // i % k == k - 1.  Only the (small) validation part is materialised;
+  // the training side stays an index view.
+  std::vector<std::size_t> train_rows;
+  Dataset val_part;
+  if (params.prune_holdout >= 2 && rows.size() >= 4 * params.prune_holdout) {
+    const std::size_t k = params.prune_holdout;
+    train_rows.reserve(rows.size() - rows.size() / k);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i % k == k - 1) {
+        val_part.x.push_back(data.x[rows[i]]);
+        val_part.y.push_back(data.y[rows[i]]);
+      } else {
+        train_rows.push_back(rows[i]);
+      }
+    }
+  } else {
+    train_rows.assign(rows.begin(), rows.end());
   }
 
-  std::vector<std::size_t> index(train->rows());
-  std::iota(index.begin(), index.end(), 0);
-  tree.root_ = tree.build(*train, index, 0, index.size(), 0, params);
+  tree.root_ = tree.build(data, train_rows, 0, train_rows.size(), 0, params);
 
   if (val_part.rows() > 0) tree.prune_with(val_part);
+  tree.flat_ = FlatTree(tree);
   return tree;
 }
 
@@ -104,9 +131,17 @@ int CartTree::build(const Dataset& data, std::vector<std::size_t>& index,
             right_sq - right_sum * right_sum / static_cast<double>(nr);
         const double sse = sse_l + sse_r;
         if (sse < best.sse) {
+          // Midpoint of adjacent doubles can round back onto the lower
+          // value (or overflow for huge magnitudes), which would make the
+          // `x < thr` partition produce an empty left side.  Any thr with
+          // a < thr <= b yields the same partition, so fall back to b.
+          const double a = column[k - 1].first;
+          const double b = column[k].first;
+          double thr = 0.5 * (a + b);
+          if (!(a < thr && thr <= b)) thr = b;
           best.found = true;
           best.feature = static_cast<int>(f);
-          best.threshold = 0.5 * (column[k - 1].first + column[k].first);
+          best.threshold = thr;
           best.sse = sse;
         }
       }
@@ -203,6 +238,12 @@ double CartTree::predict(std::span<const double> features) const {
             ? node.left
             : node.right;
   }
+}
+
+void CartTree::predict_batch(std::span<const double> X, std::size_t n_rows,
+                             std::span<double> out) const {
+  ACIC_EXPECTS(root_ >= 0, "predict_batch() on an unfitted tree");
+  flat_.predict_batch(X, n_rows, out);
 }
 
 int CartTree::node_count() const {

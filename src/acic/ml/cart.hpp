@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "acic/ml/dataset.hpp"
+#include "acic/ml/flat_tree.hpp"
 
 namespace acic::ml {
 
@@ -37,10 +38,25 @@ class CartTree final : public Learner {
   /// Grow (and prune) a tree on `data`.
   static CartTree train(const Dataset& data, const CartParams& params = {});
 
+  /// Grow (and prune) a tree on the rows of `data` named by `rows` — an
+  /// index view, so callers (forest bootstraps, cross-validation folds)
+  /// never copy feature matrices.  Training on a view of rows [0, n) is
+  /// bit-identical to train() on the whole dataset.
+  static CartTree train_on_rows(const Dataset& data,
+                                std::span<const std::size_t> rows,
+                                const CartParams& params = {});
+
   // Learner interface.
   void fit(const Dataset& data) override { *this = train(data); }
   double predict(std::span<const double> features) const override;
+  void predict_batch(std::span<const double> X, std::size_t n_rows,
+                     std::span<double> out) const override;
   std::string name() const override { return "CART"; }
+
+  /// Contiguous SoA snapshot of the pruned tree, rebuilt by every train;
+  /// the batch fast path and anything that wants allocation-free repeated
+  /// evaluation reads this.
+  const FlatTree& flat() const { return flat_; }
 
   int node_count() const;
   int leaf_count() const;
@@ -55,6 +71,8 @@ class CartTree final : public Learner {
   std::vector<int> split_counts(std::size_t features) const;
 
  private:
+  friend class FlatTree;  // reads nodes_/root_ to build the SoA snapshot
+
   struct Node {
     bool leaf = true;
     int feature = -1;
@@ -79,6 +97,7 @@ class CartTree final : public Learner {
 
   std::vector<Node> nodes_;
   int root_ = -1;
+  FlatTree flat_;
 };
 
 }  // namespace acic::ml

@@ -38,6 +38,21 @@ std::pair<Dataset, Dataset> Dataset::split_validation(
   return {std::move(train), std::move(val)};
 }
 
+void Learner::predict_batch(std::span<const double> X, std::size_t n_rows,
+                            std::span<double> out) const {
+  if (n_rows == 0) return;
+  ACIC_EXPECTS(X.size() % n_rows == 0,
+               "batch of " << X.size() << " values is not divisible into "
+                           << n_rows << " rows");
+  ACIC_EXPECTS(out.size() >= n_rows,
+               "output span holds " << out.size() << " slots for " << n_rows
+                                    << " rows");
+  const std::size_t stride = X.size() / n_rows;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    out[i] = predict(X.subspan(i * stride, stride));
+  }
+}
+
 double mse(const Learner& model, const Dataset& data) {
   ACIC_CHECK(data.rows() > 0);
   double sum = 0.0;

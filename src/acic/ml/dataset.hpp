@@ -31,6 +31,13 @@ class Learner {
   virtual ~Learner() = default;
   virtual void fit(const Dataset& data) = 0;
   virtual double predict(std::span<const double> features) const = 0;
+  /// Evaluate `n_rows` rows packed row-major in `X` (stride inferred as
+  /// X.size() / n_rows, which must divide evenly) into `out[0..n_rows)`.
+  /// Predictions must be bit-identical to calling predict() per row; the
+  /// base implementation does exactly that, and models with a fast path
+  /// (flat CART/forest) override it.
+  virtual void predict_batch(std::span<const double> X, std::size_t n_rows,
+                             std::span<double> out) const;
   virtual std::string name() const = 0;
 };
 

@@ -1,0 +1,105 @@
+#include "acic/ml/flat_tree.hpp"
+
+#include <algorithm>
+
+#include "acic/common/error.hpp"
+#include "acic/ml/cart.hpp"
+
+namespace acic::ml {
+
+FlatTree::FlatTree(const CartTree& tree) {
+  ACIC_EXPECTS(tree.root_ >= 0, "cannot flatten an unfitted tree");
+  const std::size_t upper = tree.nodes_.size();
+  feature_.reserve(upper);
+  threshold_.reserve(upper);
+  right_.reserve(upper);
+  flatten(tree, tree.root_, 0);
+}
+
+std::int32_t FlatTree::flatten(const CartTree& tree, int node,
+                               std::size_t depth) {
+  const CartTree::Node& n = tree.nodes_[static_cast<std::size_t>(node)];
+  const auto my = static_cast<std::int32_t>(feature_.size());
+  if (n.leaf) {
+    feature_.push_back(-1);
+    threshold_.push_back(n.mean);
+    right_.push_back(my);
+    depth_ = std::max(depth_, depth);
+    return my;
+  }
+  feature_.push_back(n.feature);
+  threshold_.push_back(n.threshold);
+  right_.push_back(-1);  // patched once the left subtree's extent is known
+  min_features_ = std::max(min_features_,
+                           static_cast<std::size_t>(n.feature) + 1);
+  flatten(tree, n.left, depth + 1);  // lands at my + 1 by construction
+  right_[static_cast<std::size_t>(my)] = flatten(tree, n.right, depth + 1);
+  return my;
+}
+
+double FlatTree::predict(std::span<const double> features) const {
+  ACIC_EXPECTS(!empty(), "predict() on an empty flat tree");
+  ACIC_EXPECTS(features.size() >= min_features_,
+               "flat tree needs " << min_features_ << " features, got "
+                                  << features.size());
+  std::int32_t n = 0;
+  std::int32_t f = feature_[0];
+  while (f >= 0) {
+    n = features[static_cast<std::size_t>(f)] <
+                threshold_[static_cast<std::size_t>(n)]
+            ? n + 1
+            : right_[static_cast<std::size_t>(n)];
+    f = feature_[static_cast<std::size_t>(n)];
+  }
+  return threshold_[static_cast<std::size_t>(n)];
+}
+
+template <bool Add>
+void FlatTree::batch_impl(std::span<const double> X, std::size_t n_rows,
+                          std::span<double> out) const {
+  if (n_rows == 0) return;
+  ACIC_EXPECTS(!empty(), "predict_batch() on an empty flat tree");
+  ACIC_EXPECTS(X.size() % n_rows == 0,
+               "batch of " << X.size() << " values is not divisible into "
+                           << n_rows << " rows");
+  const std::size_t stride = X.size() / n_rows;
+  ACIC_EXPECTS(stride >= min_features_,
+               "batch stride " << stride << " narrower than the "
+                               << min_features_ << " features the tree uses");
+  ACIC_EXPECTS(out.size() >= n_rows,
+               "output span holds " << out.size() << " slots for " << n_rows
+                                    << " rows");
+  // One validated, allocation-free pass: the walk below is the same
+  // comparison chain as predict(), hoisted out of span bounds plumbing
+  // and with all four arrays resident in cache across rows.
+  const std::int32_t* const feat = feature_.data();
+  const double* const thr = threshold_.data();
+  const std::int32_t* const right = right_.data();
+  const double* row = X.data();
+  for (std::size_t i = 0; i < n_rows; ++i, row += stride) {
+    std::int32_t n = 0;
+    std::int32_t f = feat[0];
+    while (f >= 0) {
+      n = row[f] < thr[n] ? n + 1 : right[n];
+      f = feat[n];
+    }
+    if constexpr (Add) {
+      out[i] += thr[n];
+    } else {
+      out[i] = thr[n];
+    }
+  }
+}
+
+void FlatTree::predict_batch(std::span<const double> X, std::size_t n_rows,
+                             std::span<double> out) const {
+  batch_impl<false>(X, n_rows, out);
+}
+
+void FlatTree::predict_batch_add(std::span<const double> X,
+                                 std::size_t n_rows,
+                                 std::span<double> out) const {
+  batch_impl<true>(X, n_rows, out);
+}
+
+}  // namespace acic::ml

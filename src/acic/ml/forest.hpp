@@ -30,6 +30,11 @@ class ForestRegressor final : public Learner {
 
   void fit(const Dataset& data) override;
   double predict(std::span<const double> features) const override;
+  /// Sums each tree's flat-path batch contribution in tree order, then
+  /// divides — the same addition order as per-row predict(), so the two
+  /// are bit-identical.
+  void predict_batch(std::span<const double> X, std::size_t n_rows,
+                     std::span<double> out) const override;
   std::string name() const override { return "forest"; }
 
   std::size_t tree_count() const { return trees_.size(); }

@@ -145,6 +145,7 @@ io::Workload parse_workload_query(const std::string& line) {
   w.name = "query";
   for (const auto& [key, value] : kv) {
     if (key == "objective" || key == "top_k" || key == "config") continue;
+    if (key == "top" || key == "model") continue;  // rank verb controls
     if (is_simulate_key(key)) continue;
     if (key == "np") {
       w.num_processes = parse_int_field(key, value);
@@ -548,6 +549,31 @@ std::string QueryService::handle_rank(const Engine& engine,
     os << "  " << (i + 1) << ". "
        << core::ParamSpace::dimension(dim).name << "\n";
   }
+
+  // Opt-in model-side section: one batch prediction over every candidate
+  // config ranks the *system* dimensions by how much the trained model
+  // thinks they matter for the given workload (defaults if no workload
+  // keys are supplied).  Opt-in keeps the default response stable for
+  // existing clients.
+  const auto model_it = kv.find("model");
+  if (model_it != kv.end() && parse_bool(model_it->second)) {
+    const auto obj_it = kv.find("objective");
+    const core::Objective objective =
+        obj_it == kv.end() ? core::Objective::kPerformance
+                           : parse_objective(obj_it->second);
+    const core::Acic* model = engine.model_for(objective);
+    ACIC_CHECK_MSG(model != nullptr,
+                   "no trained model snapshot for the model-spread section "
+                   "(empty training database?)");
+    const auto traits = parse_workload_query(line);
+    const auto spreads = core::model_dimension_spread(*model, traits);
+    os << "  model spread (objective=" << core::to_string(objective)
+       << ", workload-specific, higher = more impact)\n";
+    for (std::size_t i = 0; i < spreads.size(); ++i) {
+      os << "  " << (i + 1) << ". " << spreads[i].name
+         << " spread=" << spreads[i].spread << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -566,7 +592,7 @@ std::string QueryService::help_text() {
       "ok commands\n"
       "  recommend objective=performance|cost top_k=N <workload keys>\n"
       "  predict config=<label> objective=... <workload keys>\n"
-      "  rank [top=N]\n"
+      "  rank [top=N] [model=yes objective=... <workload keys>]\n"
       "  simulate config=<label> <workload keys> [chaos keys]\n"
       "  stats\n"
       "  workload keys: np io_procs interface iterations data request op\n"

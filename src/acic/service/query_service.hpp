@@ -9,7 +9,11 @@
 //             interface=MPI-IO iterations=40 data=4MiB request=4MiB
 //             op=write collective=yes shared=yes
 //   predict   config=pvfs.4.D.eph <same workload keys>
-//   rank      [top=N]                     — PB dimension ranking
+//   rank      [top=N] [model=yes objective=... <workload keys>]
+//                                         — PB dimension ranking; model=yes
+//                                           appends the trained model's
+//                                           workload-specific dimension
+//                                           spreads (one batch prediction)
 //   simulate  config=<label> <workload keys> [seed= failures= brownouts=
 //             brownout_fraction= stragglers= straggler_factor= correlated=
 //             permanent= retry= timeout= attempts= watchdog=]

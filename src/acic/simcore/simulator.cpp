@@ -1,6 +1,7 @@
 #include "acic/simcore/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "acic/common/error.hpp"
 #include "acic/obs/metrics.hpp"
@@ -15,19 +16,120 @@ Simulator::~Simulator() {
   registry.counter("sim.simulated_seconds").add(now_);
 }
 
+// --- Intrusive heap plumbing ----------------------------------------------
+//
+// heap_ holds arena slot indices ordered by (t, id); every move of a heap
+// entry writes the new position back into its slot's heap_pos so cancel()
+// and step() can unlink in O(log n) without searching.
+
+void Simulator::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!fires_before(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    arena_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  arena_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && fires_before(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!fires_before(heap_[child], slot)) break;
+    heap_[pos] = heap_[child];
+    arena_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = slot;
+  arena_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  ACIC_DCHECK(pos < heap_.size(), "heap_remove at " << pos << " of "
+                                                    << heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    const std::uint32_t moved = heap_[last];
+    heap_[pos] = moved;
+    arena_[moved].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    // The moved-in entry may need to travel either direction relative to
+    // the removed one's old position.
+    sift_down(pos);
+    sift_up(arena_[moved].heap_pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  ACIC_CHECK(arena_.size() < kNoSlot, "event arena exhausted");
+  arena_.emplace_back();
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  arena_[slot].fn = nullptr;  // drop the capture buffer eagerly
+  free_slots_.push_back(slot);
+}
+
+void Simulator::trim_window() {
+  // Advance past fired/cancelled ids, then drop the dead prefix once it
+  // dominates the vector — amortised O(1) per scheduled event.
+  while (window_head_ < slot_of_.size() &&
+         slot_of_[window_head_] == kNoSlot) {
+    ++window_head_;
+  }
+  if (window_head_ >= 64 && window_head_ * 2 >= slot_of_.size()) {
+    slot_of_.erase(slot_of_.begin(),
+                   slot_of_.begin() +
+                       static_cast<std::ptrdiff_t>(window_head_));
+    window_base_ += window_head_;
+    window_head_ = 0;
+  }
+}
+
 EventId Simulator::at(SimTime t, std::function<void()> fn) {
   ACIC_EXPECTS(t >= now_, "event scheduled in the past: t=" << t
                                                             << " now=" << now_);
   ACIC_EXPECTS(fn != nullptr, "event scheduled with an empty callback");
   const EventId id = next_id_++;
-  queue_.push(Scheduled{t, id, std::move(fn)});
+  const std::uint32_t slot = acquire_slot();
+  EventSlot& ev = arena_[slot];
+  ev.t = t;
+  ev.id = id;
+  ev.fn = std::move(fn);
+  slot_of_.push_back(slot);
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  trim_window();
   return id;
 }
 
 void Simulator::cancel(EventId id) {
   ACIC_EXPECTS(id >= 1 && id < next_id_,
                "cancel of EventId " << id << " that was never issued");
-  cancelled_.push_back(id);
+  if (id < window_base_) return;  // reaped long ago: already fired/cancelled
+  const std::size_t idx = window_index(id);
+  const std::uint32_t slot = slot_of_[idx];
+  if (slot == kNoSlot) return;  // already fired or already cancelled
+  slot_of_[idx] = kNoSlot;
+  heap_remove(arena_[slot].heap_pos);
+  release_slot(slot);
 }
 
 void Simulator::spawn(Task task) {
@@ -56,31 +158,30 @@ void Simulator::compact_processes() {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    const auto it =
-        std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    // Kernel invariants: virtual time never rewinds, and equal-time events
-    // fire in issue order (the determinism contract the trained models and
-    // every regression figure rely on).
-    ACIC_CHECK(ev.t >= now_, "event queue yielded a past event: t="
-                                 << ev.t << " now=" << now_);
-    ACIC_DCHECK(ev.t > last_fired_t_ ||
-                    (ev.t == last_fired_t_ && ev.id > last_fired_id_),
-                "FIFO tie-break violated at t=" << ev.t << " id=" << ev.id);
-    last_fired_t_ = ev.t;
-    last_fired_id_ = ev.id;
-    now_ = ev.t;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_.front();
+  const SimTime t = arena_[slot].t;
+  const EventId id = arena_[slot].id;
+  // Move the callback out and fully unlink the event *before* invoking it:
+  // the callback may schedule (reallocating arena_) or cancel re-entrantly,
+  // so no reference into the arena survives past this point.
+  auto fn = std::move(arena_[slot].fn);
+  heap_remove(0);
+  slot_of_[window_index(id)] = kNoSlot;
+  release_slot(slot);
+  // Kernel invariants: virtual time never rewinds, and equal-time events
+  // fire in issue order (the determinism contract the trained models and
+  // every regression figure rely on).
+  ACIC_CHECK(t >= now_,
+             "event queue yielded a past event: t=" << t << " now=" << now_);
+  ACIC_DCHECK(t > last_fired_t_ || (t == last_fired_t_ && id > last_fired_id_),
+              "FIFO tie-break violated at t=" << t << " id=" << id);
+  last_fired_t_ = t;
+  last_fired_id_ = id;
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -103,18 +204,8 @@ bool Simulator::run_until_processes_done_or(SimTime deadline) {
                                                       << " is already past ("
                                                       << now_ << ")");
   while (!all_processes_done()) {
-    // Drop cancelled events at the head so the deadline check sees the
-    // event that would actually fire (step() skips them lazily, which
-    // could otherwise fire a live event past the deadline in one call).
-    while (!queue_.empty()) {
-      const auto it =
-          std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
-      queue_.pop();
-    }
-    if (queue_.empty()) break;             // stalled: nothing left to fire
-    if (queue_.top().t > deadline) break;  // watchdog: out of simulated time
+    if (heap_.empty()) break;            // stalled: nothing left to fire
+    if (head_time() > deadline) break;   // watchdog: out of simulated time
     step();
   }
   check_spawned_exceptions();
@@ -125,7 +216,9 @@ void Simulator::run_until(SimTime deadline) {
   ACIC_EXPECTS(deadline >= now_, "run_until(" << deadline
                                               << ") would rewind the clock from "
                                               << now_);
-  while (!queue_.empty() && queue_.top().t <= deadline) {
+  // The heap head is always live (cancel unlinks eagerly), so this check
+  // is exact: no event past the deadline can fire.
+  while (!heap_.empty() && head_time() <= deadline) {
     step();
   }
   now_ = std::max(now_, deadline);

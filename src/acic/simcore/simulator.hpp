@@ -1,17 +1,28 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a virtual clock and a min-heap of timestamped events.
-// Higher layers build two styles of logic on top of it:
+// A Simulator owns a virtual clock and an intrusive binary min-heap of
+// timestamped events.  Higher layers build two styles of logic on top of
+// it:
 //   * callback events scheduled with `at()` / `in()`, and
 //   * process-style C++20 coroutines (`Task`) spawned with `spawn()`,
 //     which suspend on awaitables (timers, conditions, flow completions).
 // Events with equal timestamps fire in FIFO order (a monotone sequence
 // number breaks ties), which keeps runs deterministic.
+//
+// Event storage is a slot-reuse arena: each scheduled event occupies one
+// `EventSlot` whose index the heap orders by (t, id), and fired or
+// cancelled events release their slot (and its std::function's capture
+// buffer) for the next `at()`.  A steady-state simulation therefore
+// allocates no per-event queue nodes — the ~2.4 ms IOR run pushes and
+// pops hundreds of thousands of events through a handful of recycled
+// slots.  `cancel()` unlinks its event from the heap immediately
+// (O(log n), slot position is intrusive), so there are no tombstones:
+// the heap head is always a live event, which is what makes the deadline
+// checks in `run_until*` exact.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "acic/common/check.hpp"
@@ -44,7 +55,11 @@ class Simulator {
     return at(now_ + dt, std::move(fn));
   }
 
-  /// Cancel a previously scheduled event; harmless if already fired.
+  /// Cancel a previously scheduled event; harmless if already fired (or
+  /// already cancelled).  A pending event is unlinked from the heap right
+  /// here in O(log n) — no tombstone is left behind, and a stale id
+  /// (fired, cancelled, or reaped long ago) leaves no residue of any
+  /// kind.
   void cancel(EventId id);
 
   /// Launch a coroutine process.  The simulator keeps its frame alive for
@@ -70,7 +85,8 @@ class Simulator {
   /// propagate.
   bool run_until_processes_done_or(SimTime deadline);
 
-  /// Run until `deadline` (events after it stay queued).
+  /// Run until `deadline` (events after it stay queued, including events
+  /// at exactly the deadline's timestamp — those fire).
   void run_until(SimTime deadline);
 
   /// Execute the next event; false when the queue is empty.
@@ -81,6 +97,13 @@ class Simulator {
 
   /// Total number of events executed so far (for micro-benchmarks).
   std::uint64_t events_executed() const { return executed_; }
+
+  /// Events currently scheduled and not yet fired or cancelled.
+  std::size_t pending_events() const { return heap_.size(); }
+
+  /// Arena slots ever allocated (tests/benches: slot reuse keeps this at
+  /// the simulation's peak concurrent event count, not its event total).
+  std::size_t event_arena_slots() const { return arena_.size(); }
 
   /// Awaitable for `co_await simulator.delay(dt)` inside a Task.
   /// Delays must be non-negative: a negative dt is always a sign of broken
@@ -100,17 +123,40 @@ class Simulator {
   }
 
  private:
-  struct Scheduled {
-    SimTime t;
-    EventId id;
+  /// One arena slot.  `heap_pos` is the intrusive back-pointer into
+  /// `heap_` that makes cancel() O(log n): the slot knows where it sits,
+  /// so unlinking never searches.
+  struct EventSlot {
+    SimTime t = 0.0;
+    EventId id = 0;
+    std::uint32_t heap_pos = 0;
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
-    }
-  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// True when slot `a`'s event fires before slot `b`'s: earlier time
+  /// first, issue order (monotone id) breaking ties — the determinism
+  /// contract.
+  bool fires_before(std::uint32_t a, std::uint32_t b) const {
+    const EventSlot& ea = arena_[a];
+    const EventSlot& eb = arena_[b];
+    if (ea.t != eb.t) return ea.t < eb.t;
+    return ea.id < eb.id;
+  }
+  SimTime head_time() const { return arena_[heap_.front()].t; }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// slot_of_ index for a live id; valid only while the event is pending.
+  std::size_t window_index(EventId id) const {
+    ACIC_DCHECK(id >= window_base_ && id < next_id_,
+                "event id " << id << " outside the live window");
+    return static_cast<std::size_t>(id - window_base_);
+  }
+  void trim_window();
 
   void check_spawned_exceptions();
   /// Drop frames of finished processes (after surfacing their errors) so
@@ -125,8 +171,19 @@ class Simulator {
   EventId last_fired_id_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t spawned_since_compact_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
-  std::vector<EventId> cancelled_;  // kept sorted-on-demand, usually tiny
+
+  // Event storage: arena + intrusive heap of slot indices, plus the
+  // id -> slot window that resolves cancel() handles.  Ids are issued
+  // densely, so the window is a vector indexed by (id - window_base_);
+  // fired/cancelled entries become kNoSlot and the dead prefix is trimmed
+  // amortised-O(1) as new events are scheduled.
+  std::vector<EventSlot> arena_;
+  std::vector<std::uint32_t> heap_;        // slot indices, min-heap on (t, id)
+  std::vector<std::uint32_t> free_slots_;  // recycled arena slots
+  std::vector<std::uint32_t> slot_of_;     // slot_of_[id - window_base_]
+  EventId window_base_ = 1;
+  std::size_t window_head_ = 0;  // leading dead entries awaiting trim
+
   std::vector<Task> processes_;
 };
 

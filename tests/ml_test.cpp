@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
 
 #include "acic/common/error.hpp"
 #include "acic/common/rng.hpp"
@@ -229,6 +230,70 @@ TEST(ForestTest, DeterministicPerSeed) {
 TEST(ForestTest, ThrowsUnfitted) {
   ForestRegressor f;
   EXPECT_THROW(f.predict(std::vector<double>{1.0, 2.0}), Error);
+}
+
+TEST(CartTest, AdjacentDoubleThresholdDoesNotCrash) {
+  // Regression: with x values that are adjacent doubles, the midpoint
+  // 0.5*(a+b) rounds back onto a, so the `x < thr` partition put zero
+  // rows on the left and training aborted on the empty-side contract.
+  // The threshold now falls back to b (any a < thr <= b is the same
+  // split), so training succeeds and classifies both clusters.
+  const double lo = 1.0;
+  const double hi = std::nextafter(1.0, 2.0);
+  Dataset d;
+  d.add({lo}, 0.0);
+  d.add({lo}, 0.0);
+  d.add({hi}, 1.0);
+  d.add({hi}, 1.0);
+  const auto tree = CartTree::train(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{lo}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{hi}), 1.0);
+}
+
+TEST(CartTest, TrainOnRowsFullViewMatchesTrain) {
+  const auto data = step_function_data(200, 21, /*noise=*/0.5);
+  std::vector<std::size_t> all(data.rows());
+  std::iota(all.begin(), all.end(), 0);
+  const auto direct = CartTree::train(data);
+  const auto viewed = CartTree::train_on_rows(data, all);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> q = {rng.uniform(), rng.uniform()};
+    EXPECT_EQ(direct.predict(q), viewed.predict(q));
+  }
+}
+
+TEST(ForestTest, IndexViewBootstrapMatchesMaterializedResample) {
+  // fit() now trains each tree on an index view of the bootstrap draw.
+  // Replaying the same rng sequence into materialised row-copy datasets
+  // (the old implementation) must give bit-identical predictions.
+  const auto data = step_function_data(120, 23, /*noise=*/0.8);
+  ForestParams p;
+  p.trees = 5;
+  p.seed = 31;
+  ForestRegressor forest(p);
+  forest.fit(data);
+
+  CartParams tree_params = p.tree_params;
+  tree_params.prune_holdout = 0;  // as ForestRegressor's ctor forces
+  Rng rng(p.seed);
+  std::vector<CartTree> copied;
+  for (int t = 0; t < p.trees; ++t) {
+    Dataset boot;
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      const auto row = rng.uniform_index(data.rows());
+      boot.add(data.x[row], data.y[row]);
+    }
+    copied.push_back(CartTree::train(boot, tree_params));
+  }
+
+  Rng probe(32);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> q = {probe.uniform(), probe.uniform()};
+    double sum = 0.0;
+    for (const auto& tree : copied) sum += tree.predict(q);
+    EXPECT_EQ(forest.predict(q), sum / static_cast<double>(copied.size()));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // primitives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,79 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) s.at(static_cast<double>(i), [] {});
   s.run();
   EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, RunUntilWithCancelledEventsDoesNotOvershootDeadline) {
+  // Regression: the tombstone-based queue used to pop cancelled entries
+  // inside run_until's step loop, so a cancelled event below the
+  // deadline could advance the scan past a live event *beyond* it —
+  // firing work the deadline should have fenced off.  With the
+  // intrusive heap the head is always live, so the deadline comparison
+  // is exact.
+  Simulator s;
+  bool live_fired = false;
+  const auto doomed = s.at(1.0, [] {});
+  s.at(5.0, [&] { live_fired = true; });
+  s.cancel(doomed);
+  s.run_until(2.0);
+  EXPECT_FALSE(live_fired);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.events_executed(), 0u);
+  s.run();
+  EXPECT_TRUE(live_fired);
+}
+
+TEST(Simulator, CancelLeavesNoQueueResidue) {
+  // Regression: cancel() used to append the id to a `cancelled_` vector
+  // that was only drained when the event's timestamp came up, so a
+  // workload cancelling far-future events (failure injection under the
+  // 24h horizon) accumulated unbounded tombstones.  Now a cancel
+  // removes the heap entry immediately and recycles its arena slot.
+  Simulator s;
+  const auto id = s.at(100.0, [] {});
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending_events(), 0u);
+
+  // Schedule/cancel churn must reuse slots, not grow the arena.
+  for (int i = 0; i < 10000; ++i) {
+    s.cancel(s.at(100.0 + i, [] {}));
+  }
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_LE(s.event_arena_slots(), 8u);
+}
+
+TEST(Simulator, DoubleCancelOfPendingEventIsHarmless) {
+  Simulator s;
+  bool doomed_fired = false;
+  bool live_fired = false;
+  const auto id = s.at(1.0, [&] { doomed_fired = true; });
+  s.at(2.0, [&] { live_fired = true; });
+  s.cancel(id);
+  s.cancel(id);  // second cancel of the same pending id: a no-op
+  s.run();
+  EXPECT_FALSE(doomed_fired);
+  EXPECT_TRUE(live_fired);
+}
+
+TEST(Simulator, HeapSurvivesInterleavedScheduleCancelChurn) {
+  // Deterministic stress over the intrusive-heap invariants: interleave
+  // schedules and cancels (including middle-of-heap removals), then
+  // verify everything left fires in exact (time, id) order.
+  Simulator s;
+  std::vector<double> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>((i * 37) % 101) + 1.0;
+    ids.push_back(s.at(t, [&fired, &s] { fired.push_back(s.now()); }));
+    if (i % 3 == 0) {
+      s.cancel(ids[static_cast<std::size_t>(i) * 2 / 3]);
+    }
+  }
+  s.run();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), s.events_executed());
+  EXPECT_EQ(s.pending_events(), 0u);
 }
 
 Task delayed_append(Simulator& s, std::vector<int>& out, SimTime dt, int tag) {

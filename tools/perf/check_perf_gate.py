@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a perf_gate run against the checked-in baseline.
+
+Usage: check_perf_gate.py CURRENT_JSON BASELINE_JSON
+
+The baseline file carries the reference metrics plus a `tolerance` block
+describing how each gated metric may move before CI fails:
+
+  "tolerance": {
+    "cart_batch_speedup":  {"min_abs": 5.0},        # absolute floor
+    "sim_events_per_sec":  {"min_ratio": 0.4},      # >= 40% of baseline
+    "cart_batch_ns_per_row": {"max_ratio": 2.5}     # <= 2.5x baseline
+  }
+
+Metrics without a tolerance entry are informational: recorded in the
+artifact, never gated (raw wall numbers vary with the runner host).
+Exit code 0 = within tolerance, 1 = regression(s), 2 = usage/schema
+error.
+"""
+
+import json
+import sys
+
+SCHEMA = "acic_perf_gate_v1"
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA!r}, got {doc.get('schema')!r}")
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    current = load(argv[1])
+    baseline = load(argv[2])
+    cur = current["metrics"]
+    base = baseline["metrics"]
+    tolerance = baseline.get("tolerance", {})
+
+    violations = []
+    for name, rule in sorted(tolerance.items()):
+        if name not in cur:
+            violations.append(f"{name}: missing from current run")
+            continue
+        value = cur[name]
+        ref = base.get(name)
+        if "min_abs" in rule and value < rule["min_abs"]:
+            violations.append(
+                f"{name}: {value:.4g} below absolute floor {rule['min_abs']:.4g}"
+            )
+        if "min_ratio" in rule:
+            if ref is None:
+                violations.append(f"{name}: min_ratio rule but no baseline value")
+            elif value < ref * rule["min_ratio"]:
+                violations.append(
+                    f"{name}: {value:.4g} < {rule['min_ratio']:.2f}x baseline"
+                    f" {ref:.4g}"
+                )
+        if "max_ratio" in rule:
+            if ref is None:
+                violations.append(f"{name}: max_ratio rule but no baseline value")
+            elif value > ref * rule["max_ratio"]:
+                violations.append(
+                    f"{name}: {value:.4g} > {rule['max_ratio']:.2f}x baseline"
+                    f" {ref:.4g}"
+                )
+
+    for name in sorted(cur):
+        ref = base.get(name)
+        drift = "" if ref in (None, 0) else f"  ({value_ratio(cur[name], ref)})"
+        print(f"  {name:28s} {cur[name]:>14.4g}{drift}")
+
+    if violations:
+        print(f"\nperf gate FAILED ({len(violations)} violation(s)):")
+        for v in violations:
+            print(f"  - {v}")
+        return 1
+    print("\nperf gate OK")
+    return 0
+
+
+def value_ratio(value, ref):
+    return f"{value / ref:.2f}x baseline"
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
