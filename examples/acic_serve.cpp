@@ -1,26 +1,34 @@
 // Concurrent ACIC query server — the production-shaped front end over
-// acic::service::QueryService.  Where example_acic_query_tool answers one
-// request at a time, this driver fans batches of protocol lines across a
-// thread pool (QueryService::serve), so it sustains many concurrent
-// clients piped through a socket relay or a batch file, and reports the
-// acic::obs request metrics (per-verb counts, latency histograms,
-// simulator/file-system totals) when the stream ends.
+// acic::service::QueryService.  Two transports:
+//
+//  * stdin/stdout (default): protocol lines are read until EOF or
+//    "quit", answered in parallel batches (QueryService::serve).
+//  * --listen host:port: the acic::net epoll front end — framed
+//    requests over TCP with backpressure, idle deadlines, bounded
+//    dispatch, and graceful drain (see src/acic/net/server.hpp).
+//    bench/acic_slap is the matching load generator.
 //
 // Usage:
-//   example_acic_serve [training_db.csv] [--threads N] [--batch N]
-//                      [--max-inflight N] [--deadline-us X]
+//   example_acic_serve [training_db.csv] [--listen host:port]
+//                      [--threads N] [--batch N] [--max-inflight N]
+//                      [--deadline-us X] [--idle-ms N] [--drain-ms N]
+//                      [--max-conns N] [--net-queue N] [--quick]
 //                      [--demo] [--help]
 //
 // --max-inflight bounds admission: requests beyond N concurrently running
 // ones get a typed "shed ..." response instead of queuing.  --deadline-us
-// arms the per-request compute deadline ("timeout ..." responses).  Both
-// default off (legacy unbounded behaviour).
+// arms the per-request compute deadline ("timeout ..." responses); in
+// --listen mode the clock starts when the frame arrives, so queue wait
+// counts.  --quick skips PB screening and model training (identity
+// ranking, empty database → fallback answers) so smoke tests and the CI
+// loopback job start in milliseconds instead of minutes.
 //
-// With a CSV argument the service answers from that shared database (e.g.
-// the artifact written by example_crowdsourced_training); without one it
-// bootstraps a fresh database on the simulated cloud.  Protocol lines are
-// read from stdin until EOF or "quit"; --demo runs a scripted concurrent
-// session instead.
+// Signals: SIGPIPE is ignored (a dead peer must not kill the server);
+// SIGINT/SIGTERM route into the drain path — in --listen mode the
+// listener closes, in-flight requests finish under the drain deadline,
+// and the process exits 0; in stdin mode the blocking read is
+// interrupted, the final batch is flushed, and the process exits 0.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "acic/core/ranking.hpp"
+#include "acic/net/server.hpp"
 #include "acic/obs/metrics.hpp"
 #include "acic/service/query_service.hpp"
 
@@ -36,14 +45,58 @@ namespace {
 
 void print_usage() {
   std::printf(
-      "usage: example_acic_serve [training_db.csv] [--threads N] "
-      "[--batch N]\n"
-      "                          [--max-inflight N] [--deadline-us X] "
-      "[--demo] [--help]\n"
+      "usage: example_acic_serve [training_db.csv] [--listen host:port]\n"
+      "                          [--threads N] [--batch N]\n"
+      "                          [--max-inflight N] [--deadline-us X]\n"
+      "                          [--idle-ms N] [--drain-ms N]\n"
+      "                          [--max-conns N] [--net-queue N]\n"
+      "                          [--quick] [--demo] [--help]\n"
       "  Serves the line-oriented ACIC query protocol from stdin across a\n"
       "  thread pool; 'help' on the stream lists the protocol verbs.\n"
+      "  --listen host:port  framed-TCP front end instead of stdin\n"
       "  --max-inflight N  shed requests beyond N in flight (0 = off)\n"
-      "  --deadline-us X   per-request compute deadline, us (0 = off)\n");
+      "  --deadline-us X   per-request deadline incl. queue wait (0 = off)\n"
+      "  --idle-ms N       net: idle/slow-loris/write-stall deadline\n"
+      "  --drain-ms N      net: drain budget after SIGTERM/SIGINT\n"
+      "  --max-conns N     net: connection cap\n"
+      "  --net-queue N     net: bounded dispatch queue depth\n"
+      "  --quick           no PB screening / training (fallback mode)\n"
+      "  SIGINT/SIGTERM drain gracefully and exit 0 in both modes.\n");
+}
+
+// Signal routing: handlers may only touch async-signal-safe state.  In
+// --listen mode they forward into Server::request_drain() (an atomic
+// store plus send() on the wake socketpair); in stdin mode the unblocked
+// read returns EINTR, std::getline fails, and serve() flushes the final
+// batch on its way out.
+std::sig_atomic_t g_stop_requested = 0;
+acic::net::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  g_stop_requested = 1;
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+void install_signal_handlers() {
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: the stdin read must return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// --quick: a do-nothing ranking (identity importance, zero effects) so
+/// the service starts without running the PB screening simulations.
+acic::core::PbRankingResult identity_ranking() {
+  acic::core::PbRankingResult r;
+  for (int d = 0; d < acic::core::kNumDims; ++d) {
+    r.importance.push_back(d);
+    r.rank_of_each.push_back(d + 1);
+    r.effects.push_back(0.0);
+  }
+  return r;
 }
 
 }  // namespace
@@ -52,10 +105,13 @@ int main(int argc, char** argv) {
   using namespace acic;
 
   std::string db_path;
+  std::string listen_spec;
   unsigned threads = 0;  // hardware concurrency
   std::size_t batch = 64;
   bool demo = false;
+  bool quick = false;
   service::ServiceOptions service_options;
+  net::ServerOptions net_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -63,6 +119,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_spec = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -72,19 +132,41 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--deadline-us" && i + 1 < argc) {
       service_options.deadline_us = std::atof(argv[++i]);
+    } else if (arg == "--idle-ms" && i + 1 < argc) {
+      net_options.idle_timeout_ms = std::atol(argv[++i]);
+    } else if (arg == "--drain-ms" && i + 1 < argc) {
+      net_options.drain_timeout_ms = std::atol(argv[++i]);
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      net_options.max_connections =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--net-queue" && i + 1 < argc) {
+      net_options.max_queue_depth =
+          static_cast<std::size_t>(std::atol(argv[++i]));
     } else {
       db_path = arg;
     }
   }
+  net_options.workers = threads;
 
-  std::fprintf(stderr, "[serve] PB screening...\n");
-  auto ranking = core::run_pb_ranking();
+  install_signal_handlers();
+
+  core::PbRankingResult ranking;
+  if (quick) {
+    std::fprintf(stderr, "[serve] --quick: identity ranking, no PB run\n");
+    ranking = identity_ranking();
+  } else {
+    std::fprintf(stderr, "[serve] PB screening...\n");
+    ranking = core::run_pb_ranking();
+  }
 
   core::TrainingDatabase db;
   if (!db_path.empty()) {
     db = core::TrainingDatabase::load(db_path);
     std::fprintf(stderr, "[serve] loaded %zu shared samples from %s\n",
                  db.size(), db_path.c_str());
+  } else if (quick) {
+    std::fprintf(stderr,
+                 "[serve] --quick: empty database (fallback answers)\n");
   } else {
     std::fprintf(stderr, "[serve] bootstrapping training database...\n");
     core::TrainingPlan plan;
@@ -125,9 +207,45 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!listen_spec.empty()) {
+    const auto colon = listen_spec.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --listen expects host:port, got %s\n",
+                   listen_spec.c_str());
+      return 1;
+    }
+    net_options.host = listen_spec.substr(0, colon);
+    net_options.port = static_cast<std::uint16_t>(
+        std::atoi(listen_spec.c_str() + colon + 1));
+    try {
+      net::Server server(net_options, [&service](const net::Request& req) {
+        return service.handle(req.line, req.received_at);
+      });
+      g_server = &server;
+      if (g_stop_requested) server.request_drain();  // signal beat us here
+      std::fprintf(stderr, "[serve] listening on %s:%u (framed protocol)\n",
+                   net_options.host.c_str(), server.port());
+      server.run();
+      g_server = nullptr;
+      std::fprintf(stderr, "[serve] drained; final metrics:\n%s",
+                   obs::MetricsRegistry::global()
+                       .snapshot()
+                       .to_text("  ")
+                       .c_str());
+    } catch (const std::exception& e) {
+      g_server = nullptr;
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   std::fprintf(stderr, "[serve] ready — protocol lines on stdin.\n");
   const std::size_t served = service.serve(std::cin, std::cout, threads,
                                            batch);
+  if (g_stop_requested) {
+    std::fprintf(stderr, "[serve] stop signal: final batch flushed.\n");
+  }
   std::fprintf(stderr, "[serve] served %zu requests; final metrics:\n%s",
                served,
                obs::MetricsRegistry::global().snapshot().to_text("  ").c_str());

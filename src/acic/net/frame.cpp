@@ -1,0 +1,131 @@
+#include "acic/net/frame.hpp"
+
+#include <cstring>
+
+#include "acic/common/error.hpp"
+
+namespace acic::net {
+
+namespace {
+
+void put_u16_be(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+void put_u32_be(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+std::uint16_t get_u16_be(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>((u[0] << 8) | u[1]);
+}
+
+std::uint32_t get_u32_be(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<std::uint32_t>(u[0]) << 24) |
+         (static_cast<std::uint32_t>(u[1]) << 16) |
+         (static_cast<std::uint32_t>(u[2]) << 8) |
+         static_cast<std::uint32_t>(u[3]);
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload, std::size_t max_payload) {
+  ACIC_EXPECTS(!payload.empty(), "refusing to encode an empty frame");
+  ACIC_EXPECTS(payload.size() <= max_payload,
+               "frame payload of " << payload.size()
+                                   << " bytes exceeds the cap of "
+                                   << max_payload);
+  ACIC_EXPECTS(payload.find('\0') == std::string_view::npos,
+               "frame payload contains a NUL byte");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  put_u16_be(out, 0);  // flags, reserved
+  put_u32_be(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (failed_ || n == 0) return;
+  // Shift out the consumed prefix before growing; keeps the buffer
+  // bounded by (header + max_payload) plus one socket read.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+  Result r;
+  r.status = Status::kError;
+  r.error = error_;
+  return r;
+}
+
+FrameDecoder::Result FrameDecoder::next() {
+  if (failed_) {
+    Result r;
+    r.status = Status::kError;
+    r.error = error_;
+    return r;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  // Validate header fields as soon as each byte is present — a garbage
+  // first byte is rejected immediately, not after 8 bytes trickle in.
+  const char* p = buffer_.data() + consumed_;
+  if (avail >= 1 &&
+      static_cast<std::uint8_t>(p[0]) != kFrameMagic) {
+    return fail("bad magic byte (not an ACIC frame)");
+  }
+  if (avail >= 2 &&
+      static_cast<std::uint8_t>(p[1]) != kFrameVersion) {
+    return fail("unsupported frame version");
+  }
+  if (avail >= 4 && get_u16_be(p + 2) != 0) {
+    return fail("non-zero reserved flags");
+  }
+  if (avail < kFrameHeaderBytes) {
+    return Result{};  // kNeedMore
+  }
+  const std::uint32_t length = get_u32_be(p + 4);
+  if (length == 0) {
+    return fail("zero-length frame");
+  }
+  if (length > max_payload_) {
+    return fail("frame payload of " + std::to_string(length) +
+                " bytes exceeds the cap of " + std::to_string(max_payload_));
+  }
+  if (avail < kFrameHeaderBytes + length) {
+    return Result{};  // kNeedMore — partial payload stays buffered
+  }
+  Result r;
+  r.payload.assign(p + kFrameHeaderBytes, length);
+  if (r.payload.find('\0') != std::string::npos) {
+    return fail("frame payload contains a NUL byte");
+  }
+  consumed_ += kFrameHeaderBytes + length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  r.status = Status::kFrame;
+  return r;
+}
+
+}  // namespace acic::net

@@ -1,0 +1,95 @@
+// Wire framing for the ACIC network protocol.
+//
+// The query protocol itself is line-oriented text (see
+// service/query_service.hpp); TCP gives us a byte stream, so the socket
+// layer wraps each request and response in a small binary frame:
+//
+//   offset  size  field
+//   0       1     magic      0xAC
+//   1       1     version    0x01
+//   2       2     flags      big-endian, must be zero (reserved)
+//   4       4     length     big-endian payload byte count, 1..max
+//   8       len   payload    UTF-8 protocol text, no NUL bytes
+//
+// The decoder is a *strict* incremental parser: it consumes whatever the
+// socket delivered (one byte or a megabyte), buffers partial frames
+// across reads, and classifies every violation — wrong magic, unknown
+// version, non-zero flags, zero or oversized length, embedded NUL — as a
+// typed error with a human-readable reason.  A framing error is
+// unrecoverable by design: after garbage there is no trustworthy way to
+// resynchronise on a length-prefixed stream, so the server answers one
+// typed `error` frame and closes the connection.  The cap on `length`
+// is the first line of overload defense — a client claiming a 4 GiB
+// frame is rejected after 8 header bytes, not buffered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace acic::net {
+
+inline constexpr std::uint8_t kFrameMagic = 0xAC;
+inline constexpr std::uint8_t kFrameVersion = 0x01;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Default hard cap on one frame's payload.  Protocol lines are short;
+/// anything near this is either a bug or an attack.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64 * 1024;
+
+/// Wrap `payload` in one wire frame.  Throws acic::Error when the
+/// payload is empty, exceeds `max_payload`, or contains a NUL byte —
+/// the encoder enforces the same strictness the decoder does, so a
+/// malformed frame can never originate from this process.
+std::string encode_frame(std::string_view payload,
+                         std::size_t max_payload = kDefaultMaxFrameBytes);
+
+/// Incremental strict decoder for a stream of frames.
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< one frame extracted into `payload`
+    kError,     ///< protocol violation; `error` describes it
+  };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    std::string payload;  ///< valid when status == kFrame
+    std::string error;    ///< valid when status == kError
+  };
+
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFrameBytes);
+
+  /// Append raw bytes from the socket.  After an error the decoder is
+  /// poisoned: further feed() calls are ignored and next() keeps
+  /// returning the same error (the connection is done).
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Try to extract the next frame.  Call in a loop until kNeedMore:
+  /// one feed() may complete several pipelined frames.
+  Result next();
+
+  /// True when bytes of an incomplete frame are buffered — at stream
+  /// EOF this distinguishes a clean close from a truncated frame.
+  bool mid_frame() const { return !failed_ && !buffer_.empty(); }
+
+  /// True once a protocol violation has been seen.
+  bool failed() const { return failed_; }
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+  std::size_t max_payload() const { return max_payload_; }
+
+ private:
+  Result fail(std::string reason);
+
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< parsed prefix of buffer_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace acic::net

@@ -260,6 +260,12 @@ const QueryService::VerbMetrics& QueryService::metrics_for(
 }
 
 std::string QueryService::handle(const std::string& request_line) {
+  return handle(request_line, std::chrono::steady_clock::now());
+}
+
+std::string QueryService::handle(
+    const std::string& request_line,
+    std::chrono::steady_clock::time_point admitted_at) {
   const std::string verb = verb_of(request_line);
   const VerbMetrics& vm = metrics_for(verb);
   vm.requests->inc();
@@ -281,19 +287,39 @@ std::string QueryService::handle(const std::string& request_line) {
     return os.str();
   }
 
-  obs::Timer timer(*vm.latency_us);
-  const auto started = std::chrono::steady_clock::now();
-  std::string response = dispatch(verb, request_line);
+  const auto elapsed_us_since = [](std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t)
+        .count();
+  };
+  // Deadline gate #1, before the verb runs: a request that burned its
+  // whole budget waiting (in a socket-layer queue, or behind a slow
+  // batch neighbour) is answered without doing the work — under
+  // overload, computing an answer nobody is waiting for anymore only
+  // deepens the overload.
   if (options_.deadline_us > 0.0) {
-    const double elapsed_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - started)
-            .count();
+    const double waited_us = elapsed_us_since(admitted_at);
+    if (waited_us > options_.deadline_us) {
+      deadline_exceeded_->inc();
+      std::ostringstream os;
+      os << "timeout request exceeded deadline (" << waited_us << "us > "
+         << options_.deadline_us << "us) phase=queue\n";
+      return os.str();
+    }
+  }
+
+  obs::Timer timer(*vm.latency_us);
+  std::string response = dispatch(verb, request_line);
+  // Deadline gate #2, re-checked after the verb dispatch: a request
+  // that blows `deadline_us` *during* compute is counted too, and the
+  // late answer is replaced by a typed, explicitly degraded response.
+  if (options_.deadline_us > 0.0) {
+    const double elapsed_us = elapsed_us_since(admitted_at);
     if (elapsed_us > options_.deadline_us) {
       deadline_exceeded_->inc();
       std::ostringstream os;
       os << "timeout request exceeded deadline (" << elapsed_us << "us > "
-         << options_.deadline_us << "us)\n";
+         << options_.deadline_us << "us) phase=compute degraded=yes\n";
       return os.str();
     }
   }

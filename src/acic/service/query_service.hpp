@@ -42,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -97,6 +98,17 @@ class QueryService {
   /// "error ..." response.  Safe to call from any number of threads
   /// concurrently, including while `update_database()` swaps snapshots.
   std::string handle(const std::string& request_line);
+
+  /// Same, with the deadline clock started at `admitted_at` instead of
+  /// at entry — a network front end passes the frame-arrival time so
+  /// queue wait counts against `deadline_us`.  The deadline is enforced
+  /// on both sides of the verb dispatch: a request that is already over
+  /// budget when it reaches compute is answered `timeout ... phase=queue`
+  /// without doing the work, and one that blows the budget *during*
+  /// compute is answered `timeout ... phase=compute degraded=yes` — both
+  /// count into `service.deadline_exceeded`.
+  std::string handle(const std::string& request_line,
+                     std::chrono::steady_clock::time_point admitted_at);
 
   /// Handle a batch of independent requests, fanning across
   /// `parallel_for` (0 threads = hardware concurrency).  Response i

@@ -442,6 +442,55 @@ TEST(ServiceDegradation, DeadlineExceededGetsTypedTimeout) {
   EXPECT_GT(*count, 0.0);
 }
 
+// Satellite regression for the network front end: the admitted_at
+// overload starts the deadline clock at frame arrival, so time spent in
+// the server's dispatch queue counts.  A request that is already over
+// budget when it reaches compute is refused without doing the work.
+TEST(ServiceDegradation, QueueWaitCountsAgainstDeadlineViaAdmittedAt) {
+  ServiceOptions options;
+  options.deadline_us = 1000.0;  // 1ms budget...
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+  // ...but the frame "arrived" 50ms ago: the pre-dispatch gate fires.
+  const auto admitted_at =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(50);
+  const auto resp = svc.handle("rank top=1", admitted_at);
+  EXPECT_EQ(resp.rfind("timeout", 0), 0u) << resp;
+  EXPECT_NE(resp.find("phase=queue"), std::string::npos) << resp;
+  // The same request with a fresh clock is fine — proof the gate keyed
+  // off admitted_at, not off anything ambient.
+  const auto fresh =
+      svc.handle("rank top=1", std::chrono::steady_clock::now());
+  EXPECT_EQ(fresh.rfind("ok", 0), 0u) << fresh;
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* count = snap.counter("service.deadline_exceeded");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(*count, 0.0);
+}
+
+// A deliberately slow verb (a full chaos simulation, ~tens of ms) under
+// a deadline generous enough to clear the queue gate: the deadline is
+// re-checked *after* dispatch, the completed-but-late response is marked
+// degraded, and the miss is counted.
+TEST(ServiceDegradation, DeadlineBlownDuringComputeIsMarkedDegraded) {
+  ServiceOptions options;
+  options.deadline_us = 10'000.0;  // 10ms: compute below takes ~50ms
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+  const auto before_snap = obs::MetricsRegistry::global().snapshot();
+  const auto* before = before_snap.counter("service.deadline_exceeded");
+  const double base = before != nullptr ? *before : 0.0;
+  const auto resp = svc.handle(
+      "simulate config=pvfs.4.D.eph.4M np=64 io_procs=64 data=24MiB "
+      "request=1MiB op=read+write iterations=4 seed=3 failures=80 "
+      "brownouts=40 stragglers=50 retry=yes timeout=5 attempts=3");
+  EXPECT_EQ(resp.rfind("timeout", 0), 0u) << resp;
+  EXPECT_NE(resp.find("phase=compute"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("degraded=yes"), std::string::npos) << resp;
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const auto* count = snap.counter("service.deadline_exceeded");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GT(*count, base);
+}
+
 TEST(ServiceDegradation, SimulateVerbRunsSeededChaos) {
   auto svc = make_service();
   const auto resp = svc.handle(
