@@ -8,8 +8,8 @@
 #include <memory>
 
 #include "acic/common/table.hpp"
-#include "acic/ml/forest.hpp"
 #include "acic/ml/knn.hpp"
+#include "acic/plugin/substrates.hpp"
 #include "support.hpp"
 
 int main() {
@@ -24,9 +24,11 @@ int main() {
   };
   const Entry learners[] = {
       {"CART", nullptr},
-      {"forest", [] { return std::make_unique<ml::ForestRegressor>(); }},
+      {"forest", [] { return plugin::make_learner("forest"); }},
+      // k=7 instead of the registered default: a custom hyperparameter
+      // the registry's stock factory does not expose.
       {"kNN", [] { return std::make_unique<ml::KnnRegressor>(7); }},
-      {"linear", [] { return std::make_unique<ml::LinearRegressor>(); }},
+      {"linear", [] { return plugin::make_learner("linear"); }},
   };
 
   for (auto objective :

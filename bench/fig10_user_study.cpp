@@ -4,11 +4,10 @@
 // optimization goals at three scales.
 #include <cstdio>
 
-#include <memory>
+#include <string_view>
 
 #include "acic/common/table.hpp"
 #include "acic/core/manual.hpp"
-#include "acic/ml/forest.hpp"
 #include "support.hpp"
 
 int main() {
@@ -22,8 +21,7 @@ int main() {
     core::Acic acic(db, objective);
     // The bundled low-variance ensemble, shown alongside the paper's
     // CART (§4.2 invites plugging in other learners).
-    core::Acic forest(db, objective,
-                      [] { return std::make_unique<ml::ForestRegressor>(); });
+    core::Acic forest(db, objective, std::string_view("forest"));
     const bool perf = objective == core::Objective::kPerformance;
 
     TextTable table(

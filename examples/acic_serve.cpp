@@ -33,12 +33,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "acic/core/ranking.hpp"
 #include "acic/net/server.hpp"
 #include "acic/obs/metrics.hpp"
+#include "acic/plugin/substrates.hpp"
 #include "acic/service/query_service.hpp"
 
 namespace {
@@ -50,6 +52,7 @@ void print_usage() {
       "                          [--max-inflight N] [--deadline-us X]\n"
       "                          [--idle-ms N] [--drain-ms N]\n"
       "                          [--max-conns N] [--net-queue N]\n"
+      "                          [--learner NAME[,NAME...]]\n"
       "                          [--quick] [--demo] [--help]\n"
       "  Serves the line-oriented ACIC query protocol from stdin across a\n"
       "  thread pool; 'help' on the stream lists the protocol verbs.\n"
@@ -60,8 +63,18 @@ void print_usage() {
       "  --drain-ms N      net: drain budget after SIGTERM/SIGINT\n"
       "  --max-conns N     net: connection cap\n"
       "  --net-queue N     net: bounded dispatch queue depth\n"
+      "  --learner NAMES   learner plugin(s) to train, comma-separated;\n"
+      "                    the first is the primary (default: cart)\n"
       "  --quick           no PB screening / training (fallback mode)\n"
-      "  SIGINT/SIGTERM drain gracefully and exit 0 in both modes.\n");
+      "  SIGINT/SIGTERM drain gracefully and exit 0 in both modes.\n"
+      "\n"
+      "registered plugins:\n");
+  for (const auto& info : acic::plugin::inventory()) {
+    std::printf("  %s\n", info.summary.c_str());
+  }
+  for (const auto& err : acic::plugin::registration_errors()) {
+    std::printf("  registration-error %s\n", err.c_str());
+  }
 }
 
 // Signal routing: handlers may only touch async-signal-safe state.  In
@@ -142,6 +155,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--net-queue" && i + 1 < argc) {
       net_options.max_queue_depth =
           static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--learner" && i + 1 < argc) {
+      service_options.learners.clear();
+      std::string names = argv[++i];
+      std::size_t start = 0;
+      while (start <= names.size()) {
+        const std::size_t comma = names.find(',', start);
+        const std::string name =
+            names.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+        if (!name.empty()) service_options.learners.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (service_options.learners.empty()) {
+        std::fprintf(stderr, "error: --learner needs at least one name\n");
+        return 1;
+      }
     } else {
       db_path = arg;
     }
@@ -176,9 +206,24 @@ int main(int argc, char** argv) {
     core::collect_training_data(db, plan);
   }
 
-  std::fprintf(stderr, "[serve] training models...\n");
-  service::QueryService service(std::move(db), std::move(ranking),
-                                service_options);
+  std::fprintf(stderr, "[serve] training models (%s)...\n",
+               [&] {
+                 std::string names;
+                 for (const auto& n : service_options.learners) {
+                   if (!names.empty()) names += ",";
+                   names += n;
+                 }
+                 return names;
+               }()
+                   .c_str());
+  std::optional<service::QueryService> service;
+  try {
+    service.emplace(std::move(db), std::move(ranking), service_options);
+  } catch (const std::exception& e) {
+    // e.g. a --learner typo: the registry's error lists what exists.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   if (demo) {
     // A mixed burst of concurrent clients: the same requests a load
@@ -199,11 +244,11 @@ int main(int argc, char** argv) {
     for (int repeat = 0; repeat < 8; ++repeat) {
       requests.insert(requests.end(), burst.begin(), burst.end());
     }
-    const auto responses = service.handle_batch(requests, threads);
+    const auto responses = service->handle_batch(requests, threads);
     for (std::size_t i = 0; i < burst.size(); ++i) {
       std::printf("> %s\n%s", requests[i].c_str(), responses[i].c_str());
     }
-    std::printf("> stats\n%s", service.handle("stats").c_str());
+    std::printf("> stats\n%s", service->handle("stats").c_str());
     return 0;
   }
 
@@ -219,7 +264,7 @@ int main(int argc, char** argv) {
         std::atoi(listen_spec.c_str() + colon + 1));
     try {
       net::Server server(net_options, [&service](const net::Request& req) {
-        return service.handle(req.line, req.received_at);
+        return service->handle(req.line, req.received_at);
       });
       g_server = &server;
       if (g_stop_requested) server.request_drain();  // signal beat us here
@@ -241,7 +286,7 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "[serve] ready — protocol lines on stdin.\n");
-  const std::size_t served = service.serve(std::cin, std::cout, threads,
+  const std::size_t served = service->serve(std::cin, std::cout, threads,
                                            batch);
   if (g_stop_requested) {
     std::fprintf(stderr, "[serve] stop signal: final batch flushed.\n");

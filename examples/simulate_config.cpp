@@ -10,6 +10,9 @@
 //                   candidate                                (default all)
 //   options:
 //     --detailed-pricing   include EBS volume-hour + per-I/O charges
+//     --chaos=NAME         start from a registered fault-model preset
+//                          (none, outages, brownouts, stragglers,
+//                          lossy-az, spot-preempt); later flags override
 //     --failures=R         transient outages per hour (default 0)
 //     --brownouts=R        brownouts per hour (default 0)
 //     --brownout-fraction=F  remaining capacity during a brownout (0.2)
@@ -40,6 +43,7 @@
 #include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
 #include "acic/obs/metrics.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace {
 
@@ -91,6 +95,11 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "--detailed-pricing") {
         opts.detailed_pricing = cloud::DetailedPricing{};
+      } else if (arg.rfind("--chaos=", 0) == 0) {
+        // Whole-model preset from the registry; an unknown name throws
+        // a PluginError listing the registered presets.  Field flags
+        // after this one still override individual knobs.
+        opts.fault_model = plugin::fault_models().lookup(arg.substr(8)).model;
       } else if (arg.rfind("--failures=", 0) == 0) {
         opts.failures_per_hour = std::stod(arg.substr(11));
       } else if (arg.rfind("--brownouts=", 0) == 0) {

@@ -3,19 +3,14 @@
 #include <sstream>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::cloud {
 
 const char* to_string(FileSystemType fs) {
-  switch (fs) {
-    case FileSystemType::kNfs:
-      return "NFS";
-    case FileSystemType::kPvfs2:
-      return "PVFS2";
-    case FileSystemType::kLustre:
-      return "Lustre";
-  }
-  return "?";
+  // The registry's map nodes are address-stable, so the c_str() stays
+  // valid for the process lifetime (same contract as the old literals).
+  return plugin::filesystem_for(fs).display_name.c_str();
 }
 
 const char* to_string(Placement p) {
@@ -29,10 +24,8 @@ const char* to_string(Placement p) {
 }
 
 FileSystemType fs_from_string(const std::string& s) {
-  if (s == "NFS" || s == "nfs") return FileSystemType::kNfs;
-  if (s == "PVFS2" || s == "pvfs2" || s == "pvfs") return FileSystemType::kPvfs2;
-  if (s == "Lustre" || s == "lustre") return FileSystemType::kLustre;
-  throw Error("unknown file system: " + s);
+  // Throws plugin::PluginError listing the registered names.
+  return plugin::filesystem_named(s).type;
 }
 
 Placement placement_from_string(const std::string& s) {
@@ -43,8 +36,9 @@ Placement placement_from_string(const std::string& s) {
 
 bool IoConfig::valid() const {
   if (io_servers < 1) return false;
-  if (fs == FileSystemType::kNfs && io_servers != 1) return false;
-  if (fs != FileSystemType::kNfs && stripe_size <= 0.0) return false;
+  const auto& substrate = plugin::filesystem_for(fs);
+  if (substrate.single_server && io_servers != 1) return false;
+  if (!substrate.single_server && stripe_size <= 0.0) return false;
   if (raid_members < 0) return false;
   return true;
 }
@@ -64,17 +58,9 @@ int IoConfig::effective_raid_members() const {
 
 std::string IoConfig::label() const {
   std::ostringstream os;
-  switch (fs) {
-    case FileSystemType::kNfs:
-      os << "nfs";
-      break;
-    case FileSystemType::kPvfs2:
-      os << "pvfs." << io_servers;
-      break;
-    case FileSystemType::kLustre:
-      os << "lustre." << io_servers;
-      break;
-  }
+  const auto& substrate = plugin::filesystem_for(fs);
+  os << substrate.label_stem;
+  if (!substrate.single_server) os << "." << io_servers;
   os << "." << (placement == Placement::kDedicated ? "D" : "P");
   os << ".";
   switch (device) {
@@ -88,7 +74,7 @@ std::string IoConfig::label() const {
       os << "ssd";
       break;
   }
-  if (fs != FileSystemType::kNfs) {
+  if (!substrate.single_server) {
     os << (stripe_size >= MiB ? ".4M" : ".64K");
   }
   if (instance == InstanceType::kCc1_4xlarge) os << ".cc1";
@@ -133,29 +119,35 @@ std::vector<IoConfig> enumerate_over(
   const InstanceType instances[] = {InstanceType::kCc1_4xlarge,
                                     InstanceType::kCc2_8xlarge};
   const Placement placements[] = {Placement::kPartTime, Placement::kDedicated};
+  // Default-grid substrates in point_id order (NFS before PVFS2) with
+  // their declared knob grids reproduce the seed 56-candidate order
+  // byte for byte (guarded by the golden-RunKey regression).
+  const auto grid = plugin::default_grid_filesystems();
+  ACIC_CHECK_MSG(!grid.empty(), "no default-grid filesystem plugins");
   for (auto dev : devices) {
     for (auto inst : instances) {
       for (auto place : placements) {
-        // NFS: single server, no stripe size.
-        IoConfig nfs;
-        nfs.device = dev;
-        nfs.fs = FileSystemType::kNfs;
-        nfs.instance = inst;
-        nfs.io_servers = 1;
-        nfs.placement = place;
-        nfs.stripe_size = 0.0;
-        out.push_back(nfs);
-        // PVFS2: {1,2,4} servers x {64KB,4MB} stripes.
-        for (int servers : {1, 2, 4}) {
-          for (Bytes stripe : {64.0 * KiB, 4.0 * MiB}) {
-            IoConfig p;
-            p.device = dev;
-            p.fs = FileSystemType::kPvfs2;
-            p.instance = inst;
-            p.io_servers = servers;
-            p.placement = place;
-            p.stripe_size = stripe;
-            out.push_back(p);
+        for (const plugin::FilesystemPlugin* substrate : grid) {
+          IoConfig base;
+          base.device = dev;
+          base.instance = inst;
+          base.placement = place;
+          if (substrate->single_server) {
+            substrate->configure(base);
+            out.push_back(base);
+            continue;
+          }
+          const plugin::Knob* servers = substrate->schema.find("io_servers");
+          const plugin::Knob* stripes = substrate->schema.find("stripe_size");
+          ACIC_CHECK_MSG(servers != nullptr && stripes != nullptr,
+                         "striped substrate must declare io_servers and "
+                         "stripe_size knobs");
+          for (double server_count : servers->values) {
+            for (double stripe : stripes->values) {
+              IoConfig c = base;
+              substrate->configure(c, static_cast<int>(server_count), stripe);
+              out.push_back(c);
+            }
           }
         }
       }

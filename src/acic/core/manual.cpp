@@ -1,5 +1,7 @@
 #include "acic/core/manual.hpp"
 
+#include "acic/plugin/substrates.hpp"
+
 namespace acic::core {
 
 namespace {
@@ -15,13 +17,9 @@ cloud::IoConfig user_choice(const io::Workload& traits, Objective objective) {
   // The user reaches for NFS unless the job is obviously huge, and then
   // under-provisions the parallel file system.
   if (job_bytes(traits) < 8.0 * GiB) {
-    c.fs = cloud::FileSystemType::kNfs;
-    c.io_servers = 1;
-    c.stripe_size = 0.0;
+    plugin::filesystem_named("nfs").configure(c);
   } else {
-    c.fs = cloud::FileSystemType::kPvfs2;
-    c.io_servers = 2;
-    c.stripe_size = 4.0 * MiB;
+    plugin::filesystem_named("pvfs2").configure(c, 2, 4.0 * MiB);
   }
   // "Part-time saves money" — applied to the cost goal and to small jobs.
   c.placement = (objective == Objective::kCost || traits.num_processes <= 64)
@@ -37,13 +35,9 @@ std::vector<cloud::IoConfig> user_top3(const io::Workload& traits,
   // Variant 2: hedge on the file system choice.
   cloud::IoConfig alt = out.front();
   if (alt.fs == cloud::FileSystemType::kNfs) {
-    alt.fs = cloud::FileSystemType::kPvfs2;
-    alt.io_servers = 2;
-    alt.stripe_size = 4.0 * MiB;
+    plugin::filesystem_named("pvfs2").configure(alt, 2, 4.0 * MiB);
   } else {
-    alt.fs = cloud::FileSystemType::kNfs;
-    alt.io_servers = 1;
-    alt.stripe_size = 0.0;
+    plugin::filesystem_named("nfs").configure(alt);
   }
   out.push_back(alt);
   // Variant 3: flip placement.
@@ -63,15 +57,12 @@ cloud::IoConfig developer_choice(const io::Workload& traits,
   // The developer knows the access pattern: parallel FS for volume,
   // NFS only for genuinely small output.
   if (job_bytes(traits) < 2.0 * GiB) {
-    c.fs = cloud::FileSystemType::kNfs;
-    c.io_servers = 1;
-    c.stripe_size = 0.0;
+    plugin::filesystem_named("nfs").configure(c);
   } else {
-    c.fs = cloud::FileSystemType::kPvfs2;
     // ... but is conservative about server count on smaller jobs.
-    c.io_servers = traits.num_processes >= 128 ? 4 : 2;
-    c.stripe_size =
-        traits.request_size <= 512.0 * KiB ? 64.0 * KiB : 4.0 * MiB;
+    plugin::filesystem_named("pvfs2").configure(
+        c, traits.num_processes >= 128 ? 4 : 2,
+        traits.request_size <= 512.0 * KiB ? 64.0 * KiB : 4.0 * MiB);
   }
   c.placement = objective == Objective::kCost
                     ? cloud::Placement::kPartTime
@@ -88,9 +79,7 @@ std::vector<cloud::IoConfig> developer_top3(const io::Workload& traits,
     // Variant 2: max out the server count.
     alt.io_servers = 4;
   } else {
-    alt.fs = cloud::FileSystemType::kPvfs2;
-    alt.io_servers = 2;
-    alt.stripe_size = 4.0 * MiB;
+    plugin::filesystem_named("pvfs2").configure(alt, 2, 4.0 * MiB);
   }
   out.push_back(alt);
   // Variant 3: flip placement on the primary pick.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::core {
 
@@ -18,16 +19,45 @@ double nearest(const std::vector<double>& values, double x) {
   return best;
 }
 
+// Sorted union of one declared knob's values across the default-grid
+// filesystem plugins.  For the seed substrates this reproduces the old
+// hard-wired grids: io_servers {1,2,4}, stripe_size {64 KiB, 4 MiB}.
+std::vector<double> grid_knob_values(const char* knob_name) {
+  std::vector<double> out;
+  for (const auto* fs : plugin::default_grid_filesystems()) {
+    if (const auto* knob = fs->schema.find(knob_name)) {
+      out.insert(out.end(), knob->values.begin(), knob->values.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> grid_filesystem_levels() {
+  std::vector<double> out;
+  for (const auto* fs : plugin::default_grid_filesystems()) {
+    out.push_back(fs->point_id);
+  }
+  return out;  // already point_id-sorted
+}
+
 }  // namespace
 
 const std::vector<DimensionSpec>& ParamSpace::dimensions() {
+  // The system-side grids come from the plugin registry; fail loudly if
+  // someone asks before static init has registered the substrates
+  // (rather than caching an empty grid forever).
+  ACIC_CHECK_MSG(!plugin::default_grid_filesystems().empty(),
+                 "ParamSpace::dimensions() called before filesystem "
+                 "plugins registered");
   static const std::vector<DimensionSpec> kDims = {
       {kDevice, "Disk device", {0, 1}, true},
-      {kFileSystem, "File system", {0, 1}, true},
+      {kFileSystem, "File system", grid_filesystem_levels(), true},
       {kInstanceType, "Instance type", {0, 1}, true},
-      {kIoServers, "I/O server number", {1, 2, 4}, true},
+      {kIoServers, "I/O server number", grid_knob_values("io_servers"), true},
       {kPlacement, "Placement", {0, 1}, true},
-      {kStripeSize, "Stripe size", {64.0 * KiB, 4.0 * MiB}, true},
+      {kStripeSize, "Stripe size", grid_knob_values("stripe_size"), true},
       {kNumProcs, "Num. of all processes", {32, 64, 128, 256}, false},
       {kNumIoProcs, "Num. of I/O processes", {32, 64, 128, 256}, false},
       {kInterface, "I/O interface", {0, 1}, false},
@@ -62,10 +92,11 @@ double ParamSpace::low(Dim d) { return dimension(d).values.front(); }
 double ParamSpace::high(Dim d) { return dimension(d).values.back(); }
 
 bool ParamSpace::valid(const Point& p) {
-  const bool nfs = p[kFileSystem] < 0.5;
-  if (nfs && p[kIoServers] != 1) return false;
-  if (nfs && p[kStripeSize] != 0.0) return false;
-  if (!nfs && p[kStripeSize] <= 0.0) return false;
+  const bool single =
+      plugin::filesystem_for_level(p[kFileSystem]).single_server;
+  if (single && p[kIoServers] != 1) return false;
+  if (single && p[kStripeSize] != 0.0) return false;
+  if (!single && p[kStripeSize] <= 0.0) return false;
   if (p[kRequestSize] > p[kDataSize]) return false;
   if (p[kNumIoProcs] > p[kNumProcs]) return false;
   const bool posix = p[kInterface] < 0.5;
@@ -94,7 +125,7 @@ Point ParamSpace::repaired(Point p, const ValueOverrides* overrides) {
   for (const auto& d : dimensions()) {
     p[d.dim] = nearest(values_of(d.dim, overrides), p[d.dim]);
   }
-  if (p[kFileSystem] < 0.5) {
+  if (plugin::filesystem_for_level(p[kFileSystem]).single_server) {
     p[kIoServers] = 1;
     p[kStripeSize] = 0.0;
   }
@@ -113,11 +144,9 @@ cloud::IoConfig ParamSpace::config_of(const Point& p) {
                  ? storage::DeviceType::kEbs
                  : (p[kDevice] < 1.5 ? storage::DeviceType::kEphemeral
                                      : storage::DeviceType::kSsd);
-  // 0 = NFS, 1 = PVFS2, 2 = Lustre (extension value; see ValueOverrides).
-  c.fs = p[kFileSystem] < 0.5
-             ? cloud::FileSystemType::kNfs
-             : (p[kFileSystem] < 1.5 ? cloud::FileSystemType::kPvfs2
-                                     : cloud::FileSystemType::kLustre);
+  // Level → substrate via nearest registered point_id (0 = NFS,
+  // 1 = PVFS2, 2 = Lustre for the seeds; see ValueOverrides).
+  c.fs = plugin::filesystem_for_level(p[kFileSystem]).type;
   c.instance = p[kInstanceType] < 0.5 ? cloud::InstanceType::kCc1_4xlarge
                                       : cloud::InstanceType::kCc2_8xlarge;
   c.io_servers = static_cast<int>(p[kIoServers] + 0.5);
@@ -166,23 +195,13 @@ Point ParamSpace::encode(const cloud::IoConfig& config,
       p[kDevice] = 2;
       break;
   }
-  switch (config.fs) {
-    case cloud::FileSystemType::kNfs:
-      p[kFileSystem] = 0;
-      break;
-    case cloud::FileSystemType::kPvfs2:
-      p[kFileSystem] = 1;
-      break;
-    case cloud::FileSystemType::kLustre:
-      p[kFileSystem] = 2;
-      break;
-  }
+  const auto& substrate = plugin::filesystem_for(config.fs);
+  p[kFileSystem] = substrate.point_id;
   p[kInstanceType] =
       config.instance == cloud::InstanceType::kCc1_4xlarge ? 0 : 1;
   p[kIoServers] = config.io_servers;
   p[kPlacement] = config.placement == cloud::Placement::kPartTime ? 0 : 1;
-  p[kStripeSize] =
-      config.fs == cloud::FileSystemType::kNfs ? 0.0 : config.stripe_size;
+  p[kStripeSize] = substrate.single_server ? 0.0 : config.stripe_size;
   p[kNumProcs] = workload.num_processes;
   p[kNumIoProcs] = workload.num_io_processes;
   p[kInterface] = io::is_mpiio_family(workload.interface) ? 1 : 0;

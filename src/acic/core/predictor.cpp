@@ -4,6 +4,7 @@
 
 #include "acic/common/error.hpp"
 #include "acic/core/paramspace.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::core {
 
@@ -14,10 +15,17 @@ Acic::Acic(const TrainingDatabase& db, Objective objective,
   if (make_learner) {
     model_ = make_learner();
   } else {
-    model_ = std::make_unique<ml::CartTree>();
+    model_ = plugin::make_learner("cart");
   }
   model_->fit(db.to_dataset(objective));
 }
+
+Acic::Acic(const TrainingDatabase& db, Objective objective,
+           std::string_view learner_name)
+    : Acic(db, objective,
+           [factory = plugin::learners().lookup(learner_name).make] {
+             return factory();
+           }) {}
 
 double Acic::predict(const cloud::IoConfig& config,
                      const io::Workload& traits) const {

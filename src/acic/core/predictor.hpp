@@ -7,13 +7,14 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "acic/cloud/ioconfig.hpp"
 #include "acic/core/paramspace.hpp"
 #include "acic/core/training.hpp"
 #include "acic/io/workload.hpp"
-#include "acic/ml/cart.hpp"
+#include "acic/ml/dataset.hpp"
 
 namespace acic::core {
 
@@ -24,12 +25,18 @@ struct Recommendation {
 
 class Acic {
  public:
-  /// Factory producing a fresh learner (defaults to CART).
+  /// Factory producing a fresh learner (defaults to the "cart" plugin).
   using LearnerFactory = std::function<std::unique_ptr<ml::Learner>()>;
 
   /// Train a model for `objective` from the database.
   Acic(const TrainingDatabase& db, Objective objective,
        LearnerFactory make_learner = nullptr);
+
+  /// Train with the named registered learner ("cart", "forest", "knn",
+  /// "linear", ...); throws plugin::PluginError listing the registered
+  /// names when nothing answers to `learner_name`.
+  Acic(const TrainingDatabase& db, Objective objective,
+       std::string_view learner_name);
 
   Objective objective() const { return objective_; }
   const ml::Learner& model() const { return *model_; }

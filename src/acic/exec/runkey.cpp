@@ -5,6 +5,12 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::exec {
 
@@ -23,16 +29,16 @@ class Canonicalizer {
  public:
   Canonicalizer() { text_.reserve(512); }
 
-  void field(const char* tag, double v) {
+  void field(std::string_view tag, double v) {
     if (v == 0.0) v = 0.0;  // -0.0 -> +0.0
     if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
     raw(tag, std::bit_cast<std::uint64_t>(v));
   }
-  void field(const char* tag, std::uint64_t v) { raw(tag, v); }
-  void field(const char* tag, int v) {
+  void field(std::string_view tag, std::uint64_t v) { raw(tag, v); }
+  void field(std::string_view tag, int v) {
     raw(tag, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
   }
-  void field(const char* tag, bool v) { raw(tag, v ? 1u : 0u); }
+  void field(std::string_view tag, bool v) { raw(tag, v ? 1u : 0u); }
   void mark(const char* tag) {
     text_ += tag;
     text_ += ';';
@@ -41,9 +47,12 @@ class Canonicalizer {
   std::string str() && { return std::move(text_); }
 
  private:
-  void raw(const char* tag, std::uint64_t bits) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%s=%016llx;", tag,
+  void raw(std::string_view tag, std::uint64_t bits) {
+    // Byte-identical to the old "%s=%016llx;" rendering, minus the
+    // fixed tag-length cap (plugin knob tags are caller-controlled).
+    text_ += tag;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "=%016llx;",
                   static_cast<unsigned long long>(bits));
     text_ += buf;
   }
@@ -107,10 +116,27 @@ std::string canonical_run_fingerprint(const io::Workload& workload,
   c.field("cfg.instance", static_cast<int>(config.instance));
   c.field("cfg.servers", config.io_servers);
   c.field("cfg.placement", static_cast<int>(config.placement));
-  c.field("cfg.stripe", config.fs == cloud::FileSystemType::kNfs
+  c.field("cfg.stripe", plugin::filesystem_for(config.fs).single_server
                             ? 0.0
                             : config.stripe_size);
   c.field("cfg.raid", config.effective_raid_members());
+
+  // Plugin-declared knobs fold in under their own versioned sub-block.
+  // An empty knob list contributes zero bytes, keeping every pre-plugin
+  // key bit-identical (the golden-RunKey regression pins this); the
+  // substrate's schema version participates so re-interpreting a knob
+  // misses the cache instead of serving stale rows.
+  if (!config.plugin_knobs.empty()) {
+    const auto& substrate = plugin::filesystem_for(config.fs);
+    c.mark("cfg.knobs.v1");
+    c.field("cfg.knobs.schema",
+            static_cast<int>(substrate.schema.version));
+    std::vector<std::pair<std::string, double>> knobs = config.plugin_knobs;
+    std::sort(knobs.begin(), knobs.end());
+    for (const auto& [name, value] : knobs) {
+      c.field("k." + name, value);
+    }
+  }
 
   // --- Workload (application half) -----------------------------------
   // Hash the *normalized* shape: run_workload normalizes before

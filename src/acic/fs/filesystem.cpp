@@ -1,9 +1,7 @@
 #include "acic/fs/filesystem.hpp"
 
 #include "acic/common/error.hpp"
-#include "acic/fs/lustre.hpp"
-#include "acic/fs/nfs.hpp"
-#include "acic/fs/pvfs2.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::fs {
 
@@ -46,19 +44,11 @@ sim::Task FileSystem::resilient_transfer(cloud::ClusterModel& cluster,
 
 std::unique_ptr<FileSystem> make_filesystem(cloud::ClusterModel& cluster,
                                             const FsTuning& tuning) {
-  std::unique_ptr<FileSystem> fs;
-  switch (cluster.options().config.fs) {
-    case cloud::FileSystemType::kNfs:
-      fs = std::make_unique<NfsModel>(cluster, tuning);
-      break;
-    case cloud::FileSystemType::kPvfs2:
-      fs = std::make_unique<Pvfs2Model>(cluster, tuning);
-      break;
-    case cloud::FileSystemType::kLustre:
-      fs = std::make_unique<LustreModel>(cluster, tuning);
-      break;
-  }
-  if (!fs) throw Error("unknown file system type");
+  const auto& substrate =
+      plugin::filesystem_for(cluster.options().config.fs);
+  auto fs = substrate.make(cluster, tuning);
+  if (!fs) throw Error("filesystem plugin '" + substrate.name +
+                       "' returned no model");
   fs->configure_fault_tolerance(tuning.retry, cluster.options().seed);
   return fs;
 }

@@ -1,9 +1,12 @@
 #include "acic/fs/lustre.hpp"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 #include "acic/simcore/join.hpp"
 
 namespace acic::fs {
@@ -111,3 +114,27 @@ sim::Task LustreModel::open_file(int rank) { co_await mdt_op(rank, 1.0); }
 sim::Task LustreModel::close_file(int rank) { co_await mdt_op(rank, 0.6); }
 
 }  // namespace acic::fs
+
+// Lustre substrate registration: the post-paper extension (point 2).
+// Registered but outside the default grid, so enumerate_candidates()
+// and the trained rankings are unchanged; simulate/predict reach it by
+// name.
+ACIC_REGISTER_PLUGIN(lustre_filesystem) {
+  acic::plugin::FilesystemPlugin p;
+  p.name = "lustre";
+  p.display_name = "Lustre";
+  p.label_stem = "lustre";
+  p.aliases = {"Lustre"};
+  p.type = acic::cloud::FileSystemType::kLustre;
+  p.point_id = 2.0;
+  p.single_server = false;
+  p.in_default_grid = false;
+  p.schema.version = 1;
+  p.schema.knobs = {{"io_servers", {1.0, 2.0, 4.0}},
+                    {"stripe_size", {64.0 * acic::KiB, 4.0 * acic::MiB}}};
+  p.make = [](acic::cloud::ClusterModel& cluster,
+              const acic::fs::FsTuning& tuning) {
+    return std::make_unique<acic::fs::LustreModel>(cluster, tuning);
+  };
+  acic::plugin::filesystems().add(std::move(p));
+}

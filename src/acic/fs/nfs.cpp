@@ -1,9 +1,12 @@
 #include "acic/fs/nfs.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "acic/common/units.hpp"
 #include "acic/obs/metrics.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::fs {
 
@@ -132,3 +135,25 @@ sim::Task NfsModel::close_file(int rank) {
 }
 
 }  // namespace acic::fs
+
+// NFS substrate registration: the single-server baseline (point 0 of
+// the kFileSystem dimension).  No striping, so the only declared knob
+// is the degenerate io_servers grid {1}.
+ACIC_REGISTER_PLUGIN(nfs_filesystem) {
+  acic::plugin::FilesystemPlugin p;
+  p.name = "nfs";
+  p.display_name = "NFS";
+  p.label_stem = "nfs";
+  p.aliases = {"NFS"};
+  p.type = acic::cloud::FileSystemType::kNfs;
+  p.point_id = 0.0;
+  p.single_server = true;
+  p.in_default_grid = true;
+  p.schema.version = 1;
+  p.schema.knobs = {{"io_servers", {1.0}}};
+  p.make = [](acic::cloud::ClusterModel& cluster,
+              const acic::fs::FsTuning& tuning) {
+    return std::make_unique<acic::fs::NfsModel>(cluster, tuning);
+  };
+  acic::plugin::filesystems().add(std::move(p));
+}

@@ -1,9 +1,12 @@
 #include "acic/fs/pvfs2.hpp"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 #include "acic/simcore/join.hpp"
 
 namespace acic::fs {
@@ -112,3 +115,26 @@ sim::Task Pvfs2Model::open_file(int rank) { co_await mds_op(rank); }
 sim::Task Pvfs2Model::close_file(int rank) { co_await mds_op(rank); }
 
 }  // namespace acic::fs
+
+// PVFS2 substrate registration: the paper's striped parallel FS (point
+// 1).  Declared knobs reproduce the Table 1 grid: servers {1,2,4} and
+// stripes {64 KiB, 4 MiB}.
+ACIC_REGISTER_PLUGIN(pvfs2_filesystem) {
+  acic::plugin::FilesystemPlugin p;
+  p.name = "pvfs2";
+  p.display_name = "PVFS2";
+  p.label_stem = "pvfs";
+  p.aliases = {"PVFS2", "pvfs"};
+  p.type = acic::cloud::FileSystemType::kPvfs2;
+  p.point_id = 1.0;
+  p.single_server = false;
+  p.in_default_grid = true;
+  p.schema.version = 1;
+  p.schema.knobs = {{"io_servers", {1.0, 2.0, 4.0}},
+                    {"stripe_size", {64.0 * acic::KiB, 4.0 * acic::MiB}}};
+  p.make = [](acic::cloud::ClusterModel& cluster,
+              const acic::fs::FsTuning& tuning) {
+    return std::make_unique<acic::fs::Pvfs2Model>(cluster, tuning);
+  };
+  acic::plugin::filesystems().add(std::move(p));
+}

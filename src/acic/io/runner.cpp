@@ -8,6 +8,7 @@
 #include "acic/io/middleware.hpp"
 #include "acic/mpi/runtime.hpp"
 #include "acic/obs/metrics.hpp"
+#include "acic/plugin/substrates.hpp"
 #include "acic/simcore/simulator.hpp"
 
 namespace acic::io {
@@ -88,11 +89,18 @@ RunResult run_workload(const Workload& workload,
 
   result.total_time = simulator.now();
   result.fs_requests = filesystem->requests_served();
-  if (options.detailed_pricing) {
-    result.cost = options.detailed_pricing->run_cost(
-        cluster, result.total_time, result.fs_requests);
-  } else {
-    result.cost = cluster.cost_of(result.total_time);  // paper Eq. (1)
+  {
+    // Pricing goes through the plugin registry; the RunOptions shim
+    // maps a present detailed_pricing onto the "detailed" plugin and
+    // everything else onto the paper's Eq. (1).
+    plugin::PricingContext ctx;
+    ctx.cluster = &cluster;
+    ctx.duration = result.total_time;
+    ctx.io_operations = result.fs_requests;
+    ctx.detailed =
+        options.detailed_pricing ? &*options.detailed_pricing : nullptr;
+    const char* pricing_name = options.detailed_pricing ? "detailed" : "eq1";
+    result.cost = plugin::pricings().lookup(pricing_name).cost(ctx);
   }
   result.io_time = middleware.io_time();
   result.num_instances = cluster.num_instances();

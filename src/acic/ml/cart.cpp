@@ -4,10 +4,13 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::ml {
 
@@ -331,3 +334,17 @@ std::string CartTree::dump(
 }
 
 }  // namespace acic::ml
+
+// The paper's learner (§4: a CART regression tree per objective).
+ACIC_REGISTER_PLUGIN(cart_learner) {
+  acic::plugin::LearnerPlugin p;
+  p.name = "cart";
+  p.description = "CART regression tree (the paper's model)";
+  p.schema.version = 1;
+  p.schema.knobs = {{"min_leaf", {2.0}}, {"max_depth", {16.0}}};
+  p.make = [] {
+    return std::unique_ptr<acic::ml::Learner>(
+        std::make_unique<acic::ml::CartTree>());
+  };
+  acic::plugin::learners().add(std::move(p));
+}

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "acic/common/error.hpp"
 #include "acic/common/rng.hpp"
 #include "acic/common/stats.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::ml {
 
@@ -65,3 +68,16 @@ double ForestRegressor::prediction_stddev(
 }
 
 }  // namespace acic::ml
+
+ACIC_REGISTER_PLUGIN(forest_learner) {
+  acic::plugin::LearnerPlugin p;
+  p.name = "forest";
+  p.description = "bootstrap-aggregated CART forest";
+  p.schema.version = 1;
+  p.schema.knobs = {{"trees", {25.0}}, {"bootstrap_fraction", {1.0}}};
+  p.make = [] {
+    return std::unique_ptr<acic::ml::Learner>(
+        std::make_unique<acic::ml::ForestRegressor>());
+  };
+  acic::plugin::learners().add(std::move(p));
+}

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "acic/common/error.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::ml {
 
@@ -115,3 +118,29 @@ double LinearRegressor::predict(std::span<const double> features) const {
 }
 
 }  // namespace acic::ml
+
+ACIC_REGISTER_PLUGIN(knn_learner) {
+  acic::plugin::LearnerPlugin p;
+  p.name = "knn";
+  p.description = "k-nearest-neighbour baseline";
+  p.schema.version = 1;
+  p.schema.knobs = {{"k", {5.0}}};
+  p.make = [] {
+    return std::unique_ptr<acic::ml::Learner>(
+        std::make_unique<acic::ml::KnnRegressor>());
+  };
+  acic::plugin::learners().add(std::move(p));
+}
+
+ACIC_REGISTER_PLUGIN(linear_learner) {
+  acic::plugin::LearnerPlugin p;
+  p.name = "linear";
+  p.description = "ridge-regularised linear baseline";
+  p.schema.version = 1;
+  p.schema.knobs = {{"ridge", {1e-6}}};
+  p.make = [] {
+    return std::unique_ptr<acic::ml::Learner>(
+        std::make_unique<acic::ml::LinearRegressor>());
+  };
+  acic::plugin::learners().add(std::move(p));
+}

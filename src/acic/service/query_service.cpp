@@ -14,6 +14,7 @@
 #include "acic/common/parallel.hpp"
 #include "acic/exec/executor.hpp"
 #include "acic/io/runner.hpp"
+#include "acic/plugin/substrates.hpp"
 
 namespace acic::service {
 
@@ -90,7 +91,7 @@ bool is_simulate_key(const std::string& key) {
   static const char* kKeys[] = {
       "seed",       "failures", "brownouts", "brownout_fraction",
       "stragglers", "straggler_factor", "correlated", "permanent",
-      "retry",      "timeout",  "attempts",  "watchdog"};
+      "retry",      "timeout",  "attempts",  "watchdog",  "chaos"};
   for (const char* k : kKeys) {
     if (key == k) return true;
   }
@@ -146,6 +147,7 @@ io::Workload parse_workload_query(const std::string& line) {
   for (const auto& [key, value] : kv) {
     if (key == "objective" || key == "top_k" || key == "config") continue;
     if (key == "top" || key == "model") continue;  // rank verb controls
+    if (key == "learner" || key == "fs") continue;  // plugin selectors
     if (is_simulate_key(key)) continue;
     if (key == "np") {
       w.num_processes = parse_int_field(key, value);
@@ -175,23 +177,41 @@ io::Workload parse_workload_query(const std::string& line) {
 }
 
 QueryService::Engine::Engine(core::TrainingDatabase db,
-                             core::PbRankingResult rank)
-    : database(std::move(db)), ranking(std::move(rank)) {
+                             core::PbRankingResult rank,
+                             std::vector<std::string> learner_names)
+    : database(std::move(db)),
+      ranking(std::move(rank)),
+      learners(std::move(learner_names)) {
   // A snapshot whose models cannot be trained (empty or degenerate
   // database) still serves: recommend falls back to the PB ranking.
-  try {
-    perf_model.emplace(database, core::Objective::kPerformance);
-    cost_model.emplace(database, core::Objective::kCost);
-  } catch (const std::exception&) {
-    perf_model.reset();
-    cost_model.reset();
+  // Each learner trains independently — one blowing up must not take
+  // the others (or the fallback path) down with it.
+  for (const auto& name : learners) {
+    try {
+      ModelSet set;
+      set.perf.emplace(database, core::Objective::kPerformance,
+                       std::string_view(name));
+      set.cost.emplace(database, core::Objective::kCost,
+                       std::string_view(name));
+      models.emplace(name, std::move(set));
+    } catch (const std::exception&) {
+      // Absent from the map; requests naming it get a typed error.
+    }
   }
 }
 
 QueryService::QueryService(core::TrainingDatabase database,
                            core::PbRankingResult ranking,
                            ServiceOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
+  ACIC_CHECK_MSG(!options_.learners.empty(),
+                 "ServiceOptions::learners must name at least one learner");
+  // Validate the learner names against the plugin registry up front: a
+  // typo fails startup with a PluginError listing what is registered,
+  // instead of every future request erroring.
+  for (const auto& name : options_.learners) {
+    plugin::learners().lookup(name);
+  }
   auto& registry = obs::MetricsRegistry::global();
   auto verb_metrics = [&registry](const char* verb) {
     VerbMetrics m;
@@ -205,6 +225,7 @@ QueryService::QueryService(core::TrainingDatabase database,
   rank_metrics_ = verb_metrics("rank");
   simulate_metrics_ = verb_metrics("simulate");
   stats_metrics_ = verb_metrics("stats");
+  plugins_metrics_ = verb_metrics("plugins");
   other_metrics_ = verb_metrics("other");
   errors_ = &registry.counter("service.errors");
   shed_ = &registry.counter("service.shed");
@@ -217,8 +238,8 @@ QueryService::QueryService(core::TrainingDatabase database,
 
   obs::Timer train_timer(*train_latency_us_);
   engine_builds_->inc();
-  auto first = std::make_shared<const Engine>(std::move(database),
-                                              std::move(ranking));
+  auto first = std::make_shared<const Engine>(
+      std::move(database), std::move(ranking), options_.learners);
   if (first->degraded()) engine_build_failures_->inc();
   publish(std::move(first));
 }
@@ -230,8 +251,8 @@ void QueryService::update_database(core::TrainingDatabase database) {
   // answering from the old snapshot during the (expensive) build, then
   // pick up the new one on their next request.
   const EngineRef current = engine();
-  auto next = std::make_shared<const Engine>(std::move(database),
-                                             current->ranking);
+  auto next = std::make_shared<const Engine>(
+      std::move(database), current->ranking, current->learners);
   if (next->degraded()) {
     engine_build_failures_->inc();
     // A contribution batch that cannot train must not degrade a healthy
@@ -256,6 +277,7 @@ const QueryService::VerbMetrics& QueryService::metrics_for(
   if (verb == "rank") return rank_metrics_;
   if (verb == "simulate") return simulate_metrics_;
   if (verb == "stats") return stats_metrics_;
+  if (verb == "plugins") return plugins_metrics_;
   return other_metrics_;
 }
 
@@ -337,6 +359,7 @@ std::string QueryService::dispatch(const std::string& verb,
     if (verb == "rank") return handle_rank(*e, request_line);
     if (verb == "simulate") return handle_simulate(request_line);
     if (verb == "stats") return handle_stats(*e);
+    if (verb == "plugins") return handle_plugins();
     if (verb == "help" || verb.empty()) return help_text();
     errors_->inc();
     return "error unknown verb '" + verb + "' (try: help)\n";
@@ -399,22 +422,65 @@ std::string QueryService::handle_recommend(const Engine& engine,
       k_it == kv.end() ? 3 : parse_count("top_k", k_it->second);
   const auto traits = parse_workload_query(line);
 
-  const core::Acic* model = engine.model_for(objective);
+  // Optional fs= filter: restrict the candidate pool to one registered
+  // filesystem.  An unknown name throws the registry's PluginError
+  // listing the registered filesystems.
+  const auto fs_it = kv.find("fs");
+  std::vector<cloud::IoConfig> candidates;
+  if (fs_it != kv.end()) {
+    const auto& substrate = plugin::filesystem_named(fs_it->second);
+    for (const auto& c : cloud::IoConfig::enumerate_candidates()) {
+      if (c.fs == substrate.type) candidates.push_back(c);
+    }
+    if (candidates.empty()) {
+      throw Error("no candidate configs for filesystem '" + substrate.name +
+                  "' (registered, but not in the default grid)");
+    }
+  } else {
+    candidates = cloud::IoConfig::enumerate_candidates();
+  }
+
+  // Optional learner= selection; defaults to the snapshot's primary.
+  // An unregistered name throws the registry's PluginError; a
+  // registered name this snapshot did not train is a typed error
+  // listing what *is* trained.
+  const auto learner_it = kv.find("learner");
+  const std::string learner = learner_it != kv.end()
+                                  ? learner_it->second
+                                  : engine.primary_learner();
+  plugin::learners().lookup(learner);
+  const core::Acic* model = engine.model_for(objective, learner);
   if (model == nullptr) {
+    if (learner_it != kv.end()) throw untrained_learner_error(engine, learner);
     // No trained snapshot: degrade gracefully to the PB screening
     // ranking instead of erroring out.
     fallback_answers_->inc();
     return fallback_recommend(engine, objective, top_k);
   }
-  const auto recs = model->recommend(traits, top_k);
+  const auto recs = model->recommend(traits, top_k, candidates);
   std::ostringstream os;
   os << "ok " << recs.size() << " recommendations (objective="
-     << core::to_string(objective) << ")\n";
+     << core::to_string(objective);
+  if (learner_it != kv.end()) os << ", learner=" << learner;
+  if (fs_it != kv.end()) os << ", fs=" << fs_it->second;
+  os << ")\n";
   for (const auto& r : recs) {
     os << "  " << r.config.label() << " predicted_improvement="
        << r.predicted_improvement << "\n";
   }
   return os.str();
+}
+
+Error QueryService::untrained_learner_error(const Engine& engine,
+                                            const std::string& learner) {
+  std::string trained;
+  for (const auto& [name, set] : engine.models) {
+    if (!trained.empty()) trained += ", ";
+    trained += name;
+  }
+  return Error("learner '" + learner +
+               "' is not trained in this snapshot (trained: " +
+               (trained.empty() ? "none" : trained) + ")");
 }
 
 std::string QueryService::fallback_recommend(const Engine& engine,
@@ -477,15 +543,24 @@ std::string QueryService::handle_predict(const Engine& engine,
       obj_it == kv.end() ? core::Objective::kPerformance
                          : parse_objective(obj_it->second);
   const auto traits = parse_workload_query(line);
-  const core::Acic* model = engine.model_for(objective);
+  const auto learner_it = kv.find("learner");
+  const std::string learner = learner_it != kv.end()
+                                  ? learner_it->second
+                                  : engine.primary_learner();
+  plugin::learners().lookup(learner);  // typed unknown-learner error
+  const core::Acic* model = engine.model_for(objective, learner);
+  if (model == nullptr && learner_it != kv.end()) {
+    throw untrained_learner_error(engine, learner);
+  }
   ACIC_CHECK_MSG(model != nullptr,
                  "no trained model snapshot available (empty training "
                  "database?); try recommend for a PB-ranking fallback");
   const double improvement = model->predict(config, traits);
   std::ostringstream os;
   os << "ok predicted_improvement=" << improvement << " config="
-     << config.label() << " objective=" << core::to_string(objective)
-     << "\n";
+     << config.label() << " objective=" << core::to_string(objective);
+  if (learner_it != kv.end()) os << " learner=" << learner;
+  os << "\n";
   return os.str();
 }
 
@@ -502,6 +577,12 @@ std::string QueryService::handle_simulate(const std::string& line) {
     return it == kv.end() ? static_cast<const std::string*>(nullptr)
                           : &it->second;
   };
+  // chaos=<preset> seeds the whole fault model from a registered plugin
+  // (unknown names throw the registry's PluginError listing the
+  // presets); the explicit fields below still override per knob.
+  if (const auto* v = get("chaos")) {
+    opts.fault_model = plugin::fault_models().lookup(*v).model;
+  }
   if (const auto* v = get("seed")) opts.seed = parse_count("seed", *v);
   if (const auto* v = get("failures")) {
     opts.fault_model.outages_per_hour = parse_nonneg_double("failures", *v);
@@ -609,24 +690,56 @@ std::string QueryService::handle_stats(const Engine& engine) {
      << cloud::IoConfig::enumerate_candidates().size()
      << " candidate configs, mode="
      << (engine.degraded() ? "fallback" : "full") << "\n";
+  std::string trained;
+  for (const auto& [name, set] : engine.models) {
+    if (!trained.empty()) trained += ",";
+    trained += name;
+  }
+  os << "  learners=" << (trained.empty() ? "none" : trained)
+     << " primary=" << engine.primary_learner() << "\n";
+  for (const auto& info : plugin::inventory()) {
+    os << "  plugin " << info.summary << "\n";
+  }
   os << obs::MetricsRegistry::global().snapshot().to_text("  ");
+  return os.str();
+}
+
+std::string QueryService::handle_plugins() {
+  const auto inv = plugin::inventory();
+  std::ostringstream os;
+  os << "ok " << inv.size() << " plugins registered\n";
+  for (const auto& info : inv) {
+    os << "  " << info.summary << "\n";
+  }
+  // A healthy binary has none of these; surfacing them here is what
+  // keeps "registration never aborts" honest.
+  for (const auto& err : plugin::registration_errors()) {
+    os << "  registration-error " << err << "\n";
+  }
   return os.str();
 }
 
 std::string QueryService::help_text() {
   return
       "ok commands\n"
-      "  recommend objective=performance|cost top_k=N <workload keys>\n"
-      "  predict config=<label> objective=... <workload keys>\n"
+      "  recommend objective=performance|cost top_k=N [learner=<name>]\n"
+      "            [fs=<name>] <workload keys>\n"
+      "  predict config=<label> objective=... [learner=<name>]\n"
+      "          <workload keys>\n"
       "  rank [top=N] [model=yes objective=... <workload keys>]\n"
-      "  simulate config=<label> <workload keys> [chaos keys]\n"
+      "  simulate config=<label> <workload keys> [chaos=<preset>]\n"
+      "           [chaos keys]\n"
       "  stats\n"
+      "  plugins   (registered substrates: filesystems, learners,\n"
+      "             fault-model presets, pricing models)\n"
       "  workload keys: np io_procs interface iterations data request op\n"
       "                 collective shared (sizes like 4MiB, 256KiB)\n"
       "  chaos keys: seed failures brownouts brownout_fraction stragglers\n"
       "              straggler_factor correlated permanent retry timeout\n"
       "              attempts watchdog (rates per hour; retry=yes arms\n"
-      "              deadline/backoff; seeded runs are reproducible)\n";
+      "              deadline/backoff; seeded runs are reproducible)\n"
+      "  learner/fs/chaos names resolve through the plugin registry;\n"
+      "  unknown names answer with the registered list\n";
 }
 
 }  // namespace acic::service

@@ -19,7 +19,16 @@
 //             permanent= retry= timeout= attempts= watchdog=]
 //                                         — one chaos run, reproducible
 //   stats                                 — database + request metrics
+//   plugins                               — substrate inventory (kind,
+//                                           name, knob count, schema)
 //   help
+//
+// recommend/predict additionally accept learner=<name> (any registered
+// learner plugin trained in the snapshot) and recommend accepts
+// fs=<name> to restrict candidates to one registered filesystem;
+// simulate accepts chaos=<preset> (a registered fault-model plugin,
+// overridable field by field).  Unknown names answer with a typed
+// error listing what is registered.
 //
 // Responses are "ok ..." / "error ..." lines followed by indented detail
 // rows, so they stay greppable and machine-parseable.  Under graceful
@@ -44,9 +53,11 @@
 #include <atomic>
 #include <chrono>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "acic/common/mutex.hpp"
@@ -82,6 +93,12 @@ struct ServiceOptions {
   /// Per-request compute deadline in microseconds; a request that blows
   /// it gets a typed "timeout ..." response (0 = none).
   double deadline_us = 0.0;
+  /// Registered learner plugins to train per engine snapshot; the first
+  /// entry is the primary (answers requests without a learner= key).
+  /// Every name is validated against the plugin registry at
+  /// construction, so a typo fails service startup with a typed error
+  /// instead of surfacing per-request.
+  std::vector<std::string> learners = {"cart"};
 };
 
 class QueryService {
@@ -144,22 +161,43 @@ class QueryService {
   bool degraded() const;
 
  private:
+  /// Both objectives' models for one learner plugin.  Only complete
+  /// pairs are published into an engine's model map.
+  struct ModelSet {
+    std::optional<core::Acic> perf;
+    std::optional<core::Acic> cost;
+  };
+
   /// Immutable service state; shared read-only by concurrent requests.
   /// Models are optional: a snapshot whose training failed (empty or
   /// corrupt database) still serves rank/stats and fallback recommends.
   struct Engine {
-    Engine(core::TrainingDatabase db, core::PbRankingResult rank);
+    Engine(core::TrainingDatabase db, core::PbRankingResult rank,
+           std::vector<std::string> learner_names);
 
     core::TrainingDatabase database;
     core::PbRankingResult ranking;
-    std::optional<core::Acic> perf_model;
-    std::optional<core::Acic> cost_model;
+    /// Requested learner plugin names; front() is the primary.
+    std::vector<std::string> learners;
+    /// Trained models per learner; a learner whose training threw is
+    /// simply absent (per-learner failure isolation).
+    std::map<std::string, ModelSet, std::less<>> models;
 
-    bool degraded() const { return !perf_model || !cost_model; }
+    const std::string& primary_learner() const { return learners.front(); }
+    bool degraded() const { return model_set(primary_learner()) == nullptr; }
+    const ModelSet* model_set(std::string_view learner) const {
+      const auto it = models.find(learner);
+      return it == models.end() ? nullptr : &it->second;
+    }
     const core::Acic* model_for(core::Objective objective) const {
-      const auto& m = objective == core::Objective::kPerformance
-                          ? perf_model
-                          : cost_model;
+      return model_for(objective, primary_learner());
+    }
+    const core::Acic* model_for(core::Objective objective,
+                                std::string_view learner) const {
+      const ModelSet* set = model_set(learner);
+      if (set == nullptr) return nullptr;
+      const auto& m = objective == core::Objective::kPerformance ? set->perf
+                                                                 : set->cost;
       return m ? &*m : nullptr;
     }
   };
@@ -186,7 +224,13 @@ class QueryService {
                                  const std::string& line);
   static std::string handle_simulate(const std::string& line);
   static std::string handle_stats(const Engine& engine);
+  static std::string handle_plugins();
   static std::string help_text();
+  /// The registered-but-untrained learner error (distinct from the
+  /// unknown-name PluginError the registry itself throws): lists the
+  /// learners this snapshot actually trained.
+  static Error untrained_learner_error(const Engine& engine,
+                                       const std::string& learner);
   /// PB-effects fallback: score every candidate config against the
   /// screening effects and return the top_k (used when no model
   /// snapshot exists).
@@ -212,6 +256,7 @@ class QueryService {
   VerbMetrics rank_metrics_;
   VerbMetrics simulate_metrics_;
   VerbMetrics stats_metrics_;
+  VerbMetrics plugins_metrics_;
   VerbMetrics other_metrics_;
   obs::Counter* errors_ = nullptr;
   obs::Counter* shed_ = nullptr;

@@ -545,6 +545,116 @@ TEST(ServiceDegradation, ConcurrentSheddingIsCleanAndGaugeDrains) {
   EXPECT_EQ(svc.in_flight(), 0u);
 }
 
+// --- Plugin-registry protocol surface --------------------------------
+
+TEST(QueryServiceTest, UnknownPluginNamesAreTypedErrorsListingWhatExists) {
+  auto svc = make_service();
+  const auto bad_fs = svc.handle(
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write "
+      "fs=zfs");
+  EXPECT_EQ(bad_fs.rfind("error unknown filesystem 'zfs'", 0), 0u) << bad_fs;
+  EXPECT_NE(bad_fs.find("lustre, nfs, pvfs2"), std::string::npos) << bad_fs;
+  const auto bad_learner = svc.handle(
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write "
+      "learner=perceptron");
+  EXPECT_EQ(bad_learner.rfind("error unknown learner 'perceptron'", 0), 0u)
+      << bad_learner;
+  EXPECT_NE(bad_learner.find("cart, forest, knn, linear"), std::string::npos)
+      << bad_learner;
+  const auto bad_chaos = svc.handle(
+      "simulate config=nfs.D.ebs np=16 data=8MiB chaos=mayhem");
+  EXPECT_EQ(bad_chaos.rfind("error unknown fault-model 'mayhem'", 0), 0u)
+      << bad_chaos;
+}
+
+TEST(QueryServiceTest, FsFilterRestrictsCandidates) {
+  auto svc = make_service();
+  const auto nfs_only = svc.handle(
+      "recommend objective=performance top_k=3 np=64 data=128MiB "
+      "request=4MiB op=write fs=nfs");
+  EXPECT_EQ(nfs_only.rfind("ok", 0), 0u) << nfs_only;
+  EXPECT_NE(nfs_only.find("fs=nfs"), std::string::npos) << nfs_only;
+  EXPECT_EQ(nfs_only.find("pvfs."), std::string::npos) << nfs_only;
+  // Registered but outside the default grid: a distinct, precise error.
+  const auto lustre = svc.handle(
+      "recommend objective=performance top_k=3 np=64 data=4MiB op=write "
+      "fs=lustre");
+  EXPECT_EQ(lustre.rfind("error", 0), 0u) << lustre;
+  EXPECT_NE(lustre.find("not in the default grid"), std::string::npos)
+      << lustre;
+}
+
+TEST(QueryServiceTest, ExplicitLearnerSelectsThatModel) {
+  ServiceOptions options;
+  options.learners = {"cart", "forest"};
+  QueryService svc(synthetic_db(), synthetic_ranking(), options);
+  const auto resp = svc.handle(
+      "recommend objective=performance top_k=3 np=64 data=128MiB "
+      "request=4MiB op=write learner=forest");
+  EXPECT_EQ(resp.rfind("ok 3 recommendations", 0), 0u) << resp;
+  EXPECT_NE(resp.find("learner=forest"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("pvfs.4"), std::string::npos) << resp;
+  const auto pred = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write "
+      "learner=forest");
+  EXPECT_EQ(pred.rfind("ok predicted_improvement=", 0), 0u) << pred;
+  EXPECT_NE(pred.find("learner=forest"), std::string::npos) << pred;
+  // A registered learner this snapshot did not train is a distinct
+  // error from an unknown name.
+  const auto untrained = svc.handle(
+      "predict config=pvfs.4.D.eph.4M np=64 data=128MiB op=write "
+      "learner=knn");
+  EXPECT_EQ(untrained.rfind("error learner 'knn' is not trained", 0), 0u)
+      << untrained;
+  EXPECT_NE(untrained.find("cart, forest"), std::string::npos) << untrained;
+}
+
+TEST(QueryServiceTest, UnknownLearnerNameFailsServiceStartup) {
+  ServiceOptions options;
+  options.learners = {"perceptron"};
+  EXPECT_THROW(QueryService(synthetic_db(), synthetic_ranking(), options),
+               Error);
+}
+
+TEST(QueryServiceTest, PluginsVerbListsEverySeedSubstrate) {
+  auto svc = make_service();
+  const auto resp = svc.handle("plugins");
+  EXPECT_EQ(resp.rfind("ok ", 0), 0u) << resp;
+  for (const char* name :
+       {"nfs", "pvfs2", "lustre", "cart", "forest", "knn", "linear",
+        "outages", "brownouts", "stragglers", "eq1", "detailed"}) {
+    EXPECT_NE(resp.find(std::string(" ") + name + " "), std::string::npos)
+        << "missing " << name << " in:\n" << resp;
+  }
+  // Deterministic: two calls render byte-identically.
+  EXPECT_EQ(resp, svc.handle("plugins"));
+  // stats carries the same inventory plus the trained-learner line.
+  const auto stats = svc.handle("stats");
+  EXPECT_NE(stats.find("learners=cart primary=cart"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("plugin filesystem nfs"), std::string::npos) << stats;
+}
+
+TEST(ServiceDegradation, SimulateChaosPresetMatchesExplicitKnobs) {
+  auto svc = make_service();
+  // The outages preset is 4/h; spelling the same rate field-by-field
+  // must produce the identical seeded run.
+  const auto preset = svc.handle(
+      "simulate config=nfs.D.ebs np=16 io_procs=16 data=8MiB request=1MiB "
+      "op=write seed=7 chaos=outages");
+  const auto explicit_rate = svc.handle(
+      "simulate config=nfs.D.ebs np=16 io_procs=16 data=8MiB request=1MiB "
+      "op=write seed=7 failures=4");
+  EXPECT_EQ(preset.rfind("ok time=", 0), 0u) << preset;
+  EXPECT_EQ(preset, explicit_rate);
+  // Field overrides still apply on top of a preset.
+  const auto overridden = svc.handle(
+      "simulate config=nfs.D.ebs np=16 io_procs=16 data=8MiB request=1MiB "
+      "op=write seed=7 chaos=outages failures=60");
+  EXPECT_EQ(overridden.rfind("ok time=", 0), 0u) << overridden;
+  EXPECT_NE(overridden, preset);
+}
+
 TEST(QueryServiceConcurrency, BatchesRaceSwapsCleanly) {
   auto svc = make_service();
   std::vector<std::string> batch;

@@ -41,6 +41,19 @@ express, enforced over `src/acic`:
                    justification comment on the same line or within the
                    two preceding lines.
 
+  plugin-dispatch  Substrate dispatch belongs to the plugin registry
+                   (src/acic/plugin/, DESIGN.md §14): `switch`-style
+                   `case FileSystemType::...` branching and direct
+                   construction of concrete learners
+                   (std::make_unique<CartTree/ForestRegressor/
+                   KnnRegressor/LinearRegressor>) are banned outside the
+                   plugin layer and the substrates' own homes (the
+                   learner implementations in src/acic/ml/ construct
+                   themselves inside their registration blocks).
+                   Everything else resolves substrates by name through
+                   acic::plugin so out-of-tree registrations are picked
+                   up everywhere at once.
+
 Engines: the primary engine is textual (comment/string-aware token
 scanning) and needs nothing beyond the Python standard library.  When the
 `clang.cindex` bindings are importable (`--mode libclang`, or `auto` when
@@ -68,6 +81,7 @@ RULE_CHECK_SIDE_EFFECT = "check-side-effect"
 RULE_METRIC_REGISTRY = "metric-registry"
 RULE_RAW_IO = "raw-io"
 RULE_TSA_SUPPRESSION = "tsa-suppression"
+RULE_PLUGIN_DISPATCH = "plugin-dispatch"
 
 # Files (relative to the repo root, '/' separators) where raw std
 # synchronisation primitives are legal: the annotated wrapper itself.
@@ -79,6 +93,21 @@ RAW_MUTEX_ALLOWED = {
 # Files allowed to issue naked write/fsync syscalls.
 RAW_IO_ALLOWED_FILES = {"src/acic/exec/store.cpp"}
 RAW_IO_ALLOWED_DIRS = ("src/acic/common/",)
+
+# Directories where substrate dispatch / concrete-learner construction is
+# legal: the registry layer itself and the learner implementations (each
+# constructs itself inside its ACIC_REGISTER_PLUGIN block).
+PLUGIN_DISPATCH_ALLOWED_DIRS = ("src/acic/plugin/", "src/acic/ml/")
+
+# `case FileSystemType::kNfs:`-style enum dispatch — the pattern the
+# registry refactor removed; a new one means a substrate axis is being
+# rewired around the plugin layer.
+FS_SWITCH_DISPATCH = re.compile(r"\bcase\s+(?:cloud\s*::\s*)?FileSystemType\s*::")
+
+# Direct construction of a concrete learner outside its home.
+LEARNER_CONSTRUCTION = re.compile(
+    r"std\s*::\s*make_unique\s*<\s*(?:acic\s*::\s*)?(?:ml\s*::\s*)?"
+    r"(?:CartTree|ForestRegressor|KnnRegressor|LinearRegressor)\b")
 
 BANNED_STD_SYNC = re.compile(
     r"std::(?:recursive_timed_mutex|recursive_mutex|timed_mutex|"
@@ -388,6 +417,22 @@ def check_file_textual(root: str, path: str, table: Optional[str],
                 relpath, line_of(stripped, m.start()), RULE_RAW_IO,
                 f"naked {m.group(0).strip()}...) outside exec/store.cpp "
                 "and common/ — durability primitives belong to the store"))
+
+    # --- plugin-dispatch ---------------------------------------------
+    if not relpath.startswith(PLUGIN_DISPATCH_ALLOWED_DIRS):
+        for m in FS_SWITCH_DISPATCH.finditer(stripped):
+            findings.append(Finding(
+                relpath, line_of(stripped, m.start()), RULE_PLUGIN_DISPATCH,
+                "switch dispatch on FileSystemType outside the plugin "
+                "layer; resolve the substrate through acic::plugin"
+                "::filesystem_for / filesystem_named (plugin/substrates"
+                ".hpp) so registered filesystems are honoured everywhere"))
+        for m in LEARNER_CONSTRUCTION.finditer(stripped):
+            findings.append(Finding(
+                relpath, line_of(stripped, m.start()), RULE_PLUGIN_DISPATCH,
+                "direct concrete-learner construction outside src/acic/ml/; "
+                "use acic::plugin::make_learner(name) so the learner "
+                "registry stays the single construction path"))
 
     # --- tsa-suppression ---------------------------------------------
     if relpath != "src/acic/common/thread_annotations.hpp":
