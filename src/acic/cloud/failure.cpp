@@ -20,11 +20,21 @@ const char* to_string(FaultKind kind) {
       return "straggler";
     case FaultKind::kPermanentLoss:
       return "permanent_loss";
+    case FaultKind::kPreemption:
+      return "preemption";
   }
   return "unknown";
 }
 
 bool FaultModel::valid() const {
+  // The outage-shaping probabilities only ever apply to scheduled
+  // outages: setting them without a nonzero outage rate is a config
+  // error (silently inert knobs hide typos), not a no-op.
+  if ((correlated_outage_probability > 0.0 ||
+       permanent_loss_probability > 0.0) &&
+      outages_per_hour <= 0.0) {
+    return false;
+  }
   return outages_per_hour >= 0.0 && brownouts_per_hour >= 0.0 &&
          stragglers_per_hour >= 0.0 && brownout_fraction >= 0.0 &&
          brownout_fraction < 1.0 && straggler_factor > 0.0 &&
@@ -32,7 +42,8 @@ bool FaultModel::valid() const {
          correlated_outage_probability <= 1.0 &&
          permanent_loss_probability >= 0.0 &&
          permanent_loss_probability <= 1.0 && min_duration > 0.0 &&
-         max_duration >= min_duration;
+         max_duration >= min_duration && preemptions_per_hour >= 0.0 &&
+         preemption_notice >= 0.0;
 }
 
 FailureInjector::~FailureInjector() {
@@ -56,6 +67,20 @@ std::vector<sim::ResourceId> FailureInjector::resources_for(
           cluster_.device_write_resource(spec.server)};
 }
 
+std::vector<sim::ResourceId> FailureInjector::server_resources(
+    int server) const {
+  // A reclamation takes the whole instance: both NIC directions plus the
+  // storage device, so neither retries nor cached reads sneak through.
+  const int inst = cluster_.instance_of_server(server);
+  return {cluster_.nic_tx(inst), cluster_.nic_rx(inst),
+          cluster_.device_read_resource(server),
+          cluster_.device_write_resource(server)};
+}
+
+void FailureInjector::set_preemption_hooks(PreemptionHooks hooks) {
+  hooks_ = std::move(hooks);
+}
+
 void FailureInjector::track(sim::EventId event, SimTime at) {
   pending_.emplace_back(event, at);
 }
@@ -64,7 +89,8 @@ void FailureInjector::inject(const FaultSpec& spec) {
   ACIC_CHECK_MSG(spec.server >= 0 && spec.server < cluster_.num_io_servers(),
                  "fault targets unknown server " << spec.server);
   ACIC_CHECK(spec.at >= cluster_.simulator().now());
-  if (spec.kind != FaultKind::kPermanentLoss) {
+  if (spec.kind != FaultKind::kPermanentLoss &&
+      spec.kind != FaultKind::kPreemption) {
     ACIC_CHECK(spec.duration > 0.0);
   }
   if (spec.kind == FaultKind::kBrownout ||
@@ -75,6 +101,24 @@ void FailureInjector::inject(const FaultSpec& spec) {
   }
 
   auto& sim = cluster_.simulator();
+  if (spec.kind == FaultKind::kPreemption) {
+    // One notice and one reclaim event per fault (not per resource): the
+    // hooks see a server, and the reclaim zeroes all of its resources in
+    // a single step.
+    ACIC_CHECK(spec.notice >= 0.0);
+    const int server = spec.server;
+    const SimTime reclaim_at = spec.at + spec.notice;
+    track(sim.at(spec.at,
+                 [this, server, reclaim_at] {
+                   if (hooks_.on_notice) hooks_.on_notice(server, reclaim_at);
+                 }),
+          spec.at);
+    track(sim.at(reclaim_at, [this, server] { reclaim_server(server); }),
+          reclaim_at);
+    ++scheduled_;
+    ++faults_injected_;
+    return;
+  }
   for (auto r : resources_for(spec)) {
     switch (spec.kind) {
       case FaultKind::kOutage:
@@ -96,6 +140,8 @@ void FailureInjector::inject(const FaultSpec& spec) {
       case FaultKind::kPermanentLoss:
         track(sim.at(spec.at, [this, r] { mark_permanent(r); }), spec.at);
         break;
+      case FaultKind::kPreemption:
+        break;  // handled above (whole-server, not per-resource)
     }
   }
   ++scheduled_;
@@ -193,6 +239,23 @@ void FailureInjector::inject_random(Rng& rng, const FaultModel& model,
     spec.fraction = model.straggler_factor;
     inject(spec);
   });
+
+  // The preemption stream is appended *after* the legacy streams so every
+  // pre-preemption seeded schedule stays bit-identical.  The model's rate
+  // is per server (each I/O server is its own spot instance), so the
+  // aggregate stream scales with the server count — a 4-server array is
+  // four times as exposed as the NFS box, which is exactly the trade-off
+  // the restart-aware objective has to weigh.
+  schedule_stream(
+      model.preemptions_per_hour * static_cast<double>(servers),
+      [&](SimTime t) {
+        FaultSpec spec;
+        spec.kind = FaultKind::kPreemption;
+        spec.server = static_cast<int>(rng.uniform_index(servers));
+        spec.at = t;
+        spec.notice = model.preemption_notice;
+        inject(spec);
+      });
 }
 
 void FailureInjector::inject_random(Rng& rng, double outages_per_hour,
@@ -273,6 +336,25 @@ void FailureInjector::mark_permanent(sim::ResourceId id) {
   apply(id);
 }
 
+void FailureInjector::reclaim_server(int server) {
+  for (auto r : server_resources(server)) {
+    ++state_of(r).preempted;
+    apply(r);
+  }
+  if (hooks_.on_reclaim) hooks_.on_reclaim(server);
+}
+
+void FailureInjector::restore_server(int server) {
+  for (auto r : server_resources(server)) {
+    const auto it = active_.find(r);
+    // cancel_pending() (job already over) may have force-restored the
+    // resource; a late restore must then stay a no-op.
+    if (it == active_.end() || it->second.preempted == 0) continue;
+    --it->second.preempted;
+    apply(r);
+  }
+}
+
 void FailureInjector::apply(sim::ResourceId id) {
   const auto it = active_.find(id);
   ACIC_CHECK(it != active_.end());
@@ -280,12 +362,13 @@ void FailureInjector::apply(sim::ResourceId id) {
   // Always derive from `original` (never scale the live value): overlap
   // in any order restores the exact pre-fault capacity, jitter included.
   double effective = 0.0;
-  if (!st.permanent && st.outages == 0) {
+  if (!st.permanent && st.outages == 0 && st.preempted == 0) {
     effective = st.original;
     for (double f : st.degradations) effective *= f;
   }
   cluster_.network().set_capacity(id, effective);
-  if (!st.permanent && st.outages == 0 && st.degradations.empty()) {
+  if (!st.permanent && st.outages == 0 && st.preempted == 0 &&
+      st.degradations.empty()) {
     active_.erase(it);  // fully healed: forget, original restored exactly
   }
 }
@@ -364,12 +447,13 @@ ACIC_REGISTER_PLUGIN(fault_lossy_az) {
 ACIC_REGISTER_PLUGIN(fault_spot_preempt) {
   acic::plugin::FaultModelPlugin p;
   p.name = "spot-preempt";
-  p.description = "rare but permanent instance reclamation";
-  p.schema.version = 1;
-  p.schema.knobs = {{"outages_per_hour", {1.0}},
-                    {"permanent_loss_probability", {1.0}}};
+  p.description =
+      "spot reclamations: notice, whole-server loss, replacement restart";
+  p.schema.version = 2;
+  p.schema.knobs = {{"preemptions_per_hour", {1.0}},
+                    {"preemption_notice", {120.0}}};
   p.model = preset_base();
-  p.model.outages_per_hour = 1.0;
-  p.model.permanent_loss_probability = 1.0;
+  p.model.preemptions_per_hour = 1.0;  // per server-hour
+  p.model.preemption_notice = 120.0;
   acic::plugin::fault_models().add(std::move(p));
 }

@@ -11,6 +11,12 @@
 //                   fraction for a (typically long) window.
 //   * permanent loss — a server never comes back; only clients with
 //                   deadlines + retries make progress past it.
+//   * preemption  — a spot-instance reclamation: a seeded notice event
+//                   fires first (checkpoint managers react to it), then
+//                   the whole server — NIC *and* device — goes dark
+//                   until someone acquires a replacement and calls
+//                   restore_server().  Without a restore it behaves
+//                   like a whole-server permanent loss.
 // Correlated outages hit every server in one window (rack/AZ events).
 //
 // All schedules are driven by an explicitly seeded Rng, so chaos runs are
@@ -21,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -36,6 +43,7 @@ enum class FaultKind {
   kBrownout,       ///< capacity -> original * fraction for the window
   kStraggler,      ///< device capacity -> original * fraction (slow disk)
   kPermanentLoss,  ///< capacity -> 0, never restored
+  kPreemption,     ///< notice, then whole-server loss until restore_server()
 };
 
 const char* to_string(FaultKind kind);
@@ -50,8 +58,12 @@ struct FaultSpec {
   /// Remaining capacity fraction for kBrownout / kStraggler.
   double fraction = 0.2;
   /// Hit the NIC (true) or the storage device (false).  Stragglers are
-  /// always device-side regardless of this flag.
+  /// always device-side regardless of this flag; preemptions always take
+  /// the whole server (NIC and device).
   bool hit_nic = false;
+  /// kPreemption only: seconds between the reclamation notice (`at`) and
+  /// the actual loss at `at + notice`.
+  SimTime notice = 120.0;
 };
 
 /// Rates and shapes for seeded random fault schedules.  All rates are
@@ -70,12 +82,27 @@ struct FaultModel {
   double permanent_loss_probability = 0.0;
   SimTime min_duration = 5.0;
   SimTime max_duration = 30.0;
+  /// Spot-instance reclamations per *server*-hour (each I/O server is an
+  /// independent spot instance, so a config's exposure scales with its
+  /// server count).
+  double preemptions_per_hour = 0.0;
+  /// Seconds of warning between a reclamation notice and the loss.
+  SimTime preemption_notice = 120.0;
 
   bool any() const {
     return outages_per_hour > 0.0 || brownouts_per_hour > 0.0 ||
-           stragglers_per_hour > 0.0;
+           stragglers_per_hour > 0.0 || preemptions_per_hour > 0.0;
   }
   bool valid() const;
+};
+
+/// Observer seams for kPreemption faults.  `on_notice` fires at the
+/// reclamation notice (with the scheduled loss time), `on_reclaim` right
+/// after the server's resources were zeroed — the checkpoint/restart
+/// machinery hangs off these.
+struct PreemptionHooks {
+  std::function<void(int server, SimTime reclaim_at)> on_notice;
+  std::function<void(int server)> on_reclaim;
 };
 
 class FailureInjector {
@@ -108,6 +135,15 @@ class FailureInjector {
 
   int scheduled_outages() const { return scheduled_; }
 
+  /// Install the preemption observers (replaces any previous hooks).
+  void set_preemption_hooks(PreemptionHooks hooks);
+
+  /// Bring a preempted server's replacement online: undoes one reclaim
+  /// on each of the server's resources and re-derives their capacities
+  /// (stalled flows resume).  Harmless when the server is not currently
+  /// preempted.
+  void restore_server(int server);
+
   /// Cancel every pending (unfired) suppress/degrade/restore event and
   /// force still-faulted resources back to their exact original
   /// capacities.  Call when the job finishes before the fault schedule
@@ -126,6 +162,9 @@ class FailureInjector {
     int outages = 0;                   ///< active zero-capacity windows
     std::vector<double> degradations;  ///< active brownout/straggler fractions
     bool permanent = false;
+    /// Active reclamations (a counter, not a flag: part-time servers can
+    /// share a NIC, so two preempted servers may overlap on a resource).
+    int preempted = 0;
   };
 
   void begin_outage(sim::ResourceId id);
@@ -133,12 +172,15 @@ class FailureInjector {
   void begin_degradation(sim::ResourceId id, double fraction);
   void end_degradation(sim::ResourceId id, double fraction);
   void mark_permanent(sim::ResourceId id);
+  void reclaim_server(int server);
   void apply(sim::ResourceId id);
   ResourceState& state_of(sim::ResourceId id);
   std::vector<sim::ResourceId> resources_for(const FaultSpec& spec) const;
+  std::vector<sim::ResourceId> server_resources(int server) const;
   void track(sim::EventId event, SimTime at);
 
   ClusterModel& cluster_;
+  PreemptionHooks hooks_;
   int scheduled_ = 0;
   std::map<sim::ResourceId, ResourceState> active_;
   /// Every scheduled (event, time) pair, for cancel_pending().

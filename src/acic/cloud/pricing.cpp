@@ -32,6 +32,12 @@ Money DetailedPricing::run_cost(const ClusterModel& cluster,
          ebs_surcharge(cluster, duration, io_operations);
 }
 
+Money SpotPricing::run_cost(const ClusterModel& cluster, SimTime duration,
+                            std::uint64_t restarts) const {
+  return cluster.cost_of(duration) * price_factor +
+         static_cast<double>(restarts) * per_restart_cost;
+}
+
 }  // namespace acic::cloud
 
 // The paper's Eq. (1): cost = time x instances x unit price.
@@ -64,6 +70,25 @@ ACIC_REGISTER_PLUGIN(detailed_pricing) {
     const acic::cloud::DetailedPricing defaults;
     const auto& rates = ctx.detailed != nullptr ? *ctx.detailed : defaults;
     return rates.run_cost(*ctx.cluster, ctx.duration, ctx.io_operations);
+  };
+  acic::plugin::pricings().add(std::move(p));
+}
+
+// Spot-market billing: discounted instance-hours plus per-restart
+// reacquisition fees.  Uses the caller's SpotPricing terms when supplied,
+// otherwise the defaults above.
+ACIC_REGISTER_PLUGIN(spot_pricing) {
+  acic::plugin::PricingPlugin p;
+  p.name = "spot";
+  p.description =
+      "spot-market Eq. (1): discounted rate plus per-restart fees";
+  p.schema.version = 1;
+  p.schema.knobs = {{"price_factor", {0.35}}, {"per_restart_cost", {0.08}}};
+  p.cost = [](const acic::plugin::PricingContext& ctx) {
+    ACIC_CHECK_MSG(ctx.cluster != nullptr, "pricing needs a cluster");
+    const acic::cloud::SpotPricing defaults;
+    const auto& terms = ctx.spot != nullptr ? *ctx.spot : defaults;
+    return terms.run_cost(*ctx.cluster, ctx.duration, ctx.restarts);
   };
   acic::plugin::pricings().add(std::move(p));
 }

@@ -34,4 +34,22 @@ struct DetailedPricing {
                       std::uint64_t io_operations) const;
 };
 
+/// Spot-market billing: instances cost a fraction of the on-demand rate,
+/// but every preemption restart pays a reacquisition fee (the partial
+/// billing hour lost on the reclaimed server plus provisioning spin-up).
+/// Net effect: the cost objective now trades the spot discount against
+/// the preemption-recovery tax, which is exactly the restart-aware
+/// ranking the recommender needs.
+struct SpotPricing {
+  /// Spot price as a fraction of the on-demand rate (2013 spot markets
+  /// hovered around a third of on-demand for steady bids).
+  double price_factor = 0.35;
+  /// Dollars charged per replacement-server acquisition.
+  Money per_restart_cost = 0.08;
+
+  /// Discounted Eq. (1) bill plus the per-restart reacquisition fees.
+  Money run_cost(const ClusterModel& cluster, SimTime duration,
+                 std::uint64_t restarts) const;
+};
+
 }  // namespace acic::cloud

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "acic/cloud/ioconfig.hpp"
+#include "acic/cloud/pricing.hpp"
+#include "acic/common/units.hpp"
 #include "acic/core/paramspace.hpp"
 #include "acic/core/training.hpp"
 #include "acic/io/workload.hpp"
@@ -22,6 +24,36 @@ struct Recommendation {
   cloud::IoConfig config;
   double predicted_improvement = 0.0;  ///< over baseline; higher is better
 };
+
+/// First-order spot-market preemption model for restart-aware ranking.
+/// Configurations with more I/O servers face proportionally more
+/// reclaims; configurations with slower storage pay more for every
+/// checkpoint dump — the recommender folds both into the ranking via
+/// Daly's checkpoint/restart slowdown formula.
+struct PreemptionModel {
+  /// Spot reclaim rate per I/O server (matches
+  /// FaultModel::preemptions_per_hour).
+  double preemptions_per_hour = 0.0;
+  /// Checkpoint cadence and dump size the job will run with.
+  SimTime checkpoint_interval = 600.0;
+  Bytes checkpoint_bytes = 0.0;
+  /// Replacement acquisition + rebind cost per restart, seconds.
+  SimTime restart_overhead = 120.0;
+  /// Billing terms for the cost objective.
+  cloud::SpotPricing spot;
+
+  bool active() const { return preemptions_per_hour > 0.0; }
+};
+
+/// Expected execution-time slowdown factor (>= 1) of `config` under the
+/// preemption model: (1 + delta/tau) * (1 + lambda * (tau/2 + R)) with
+/// delta the dump-write time through the config's aggregate storage
+/// bandwidth, tau the checkpoint interval, lambda the whole-cluster
+/// reclaim rate and R the restart overhead plus the restore read.  With
+/// checkpointing off the replay term uses a pessimistic one-hour mean
+/// (lost work since t=0 grows with elapsed runtime).
+double expected_preemption_slowdown(const cloud::IoConfig& config,
+                                    const PreemptionModel& model);
 
 class Acic {
  public:
@@ -60,6 +92,18 @@ class Acic {
   /// `candidates` defaults to the full Table 1 system enumeration.
   std::vector<Recommendation> recommend(
       const io::Workload& traits, std::size_t top_k = 1,
+      const std::vector<cloud::IoConfig>& candidates =
+          cloud::IoConfig::enumerate_candidates()) const;
+
+  /// Restart-aware ranking: each candidate's predicted improvement is
+  /// scaled by its preemption-adjusted expected slowdown (and, for the
+  /// cost objective, the spot discount and per-restart reacquisition
+  /// fees) relative to the baseline's, so a config that wins on raw
+  /// bandwidth can lose to one that checkpoints or recovers cheaper.
+  /// An inactive model degrades to the plain ranking above.
+  std::vector<Recommendation> recommend(
+      const io::Workload& traits, const PreemptionModel& preemption,
+      std::size_t top_k = 1,
       const std::vector<cloud::IoConfig>& candidates =
           cloud::IoConfig::enumerate_candidates()) const;
 

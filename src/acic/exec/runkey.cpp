@@ -181,9 +181,28 @@ std::string canonical_run_fingerprint(const io::Workload& workload,
     c.field("f.stragglers", faults.stragglers_per_hour);
     c.field("f.straggler_factor", faults.straggler_factor);
   }
+  if (faults.preemptions_per_hour > 0.0) {
+    c.field("f.preemptions", faults.preemptions_per_hour);
+    c.field("f.preempt_notice", faults.preemption_notice);
+  }
   if (faults.any()) {
     c.field("f.min_duration", faults.min_duration);
     c.field("f.max_duration", faults.max_duration);
+  }
+
+  // Checkpoint/restart policy folds in only once it can affect the run
+  // (periodic dumps armed, or preemptions needing the recovery half);
+  // the inert default contributes zero bytes, keeping pre-checkpoint
+  // keys bit-identical.
+  const io::CheckpointPolicy& ck = options.checkpoint;
+  if (ck.enabled || faults.preemptions_per_hour > 0.0) {
+    c.mark("ck.v1");
+    c.field("ck.enabled", ck.enabled);
+    c.field("ck.interval", ck.interval);
+    c.field("ck.bytes", ck.bytes);
+    c.field("ck.max_restarts", ck.max_restarts);
+    c.field("ck.delay_min", ck.replacement_delay_min);
+    c.field("ck.delay_max", ck.replacement_delay_max);
   }
 
   // File-system tuning always shapes the simulated costs.
@@ -203,9 +222,12 @@ std::string canonical_run_fingerprint(const io::Workload& workload,
   c.field("t.pvfs_mds", t.pvfs_mds_op_cost);
 
   // Retry shape only matters once the policy is armed (disabled keeps
-  // the legacy wait-forever semantics bit-for-bit).
+  // the legacy wait-forever semantics bit-for-bit).  The deadline.v2
+  // mark versions the total-deadline clamp semantics: armed-retry rows
+  // computed under the old overshooting backoff miss rather than serve.
   if (t.retry.enabled) {
     c.mark("r.enabled");
+    c.mark("r.deadline.v2");
     c.field("r.timeout", t.retry.request_timeout);
     c.field("r.attempts", t.retry.max_attempts);
     c.field("r.base", t.retry.backoff_base);
@@ -214,7 +236,12 @@ std::string canonical_run_fingerprint(const io::Workload& workload,
     c.field("r.jitter", t.retry.backoff_jitter);
   }
 
-  if (options.detailed_pricing) {
+  if (options.spot_pricing) {
+    const cloud::SpotPricing& s = *options.spot_pricing;
+    c.mark("p.spot");
+    c.field("p.spot_factor", s.price_factor);
+    c.field("p.spot_restart", s.per_restart_cost);
+  } else if (options.detailed_pricing) {
     const cloud::DetailedPricing& p = *options.detailed_pricing;
     c.mark("p.detailed");
     c.field("p.gb_month", p.ebs_gb_month);

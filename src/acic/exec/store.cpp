@@ -35,8 +35,9 @@ const std::string kHeader =
     std::string(RunStore::kVersionTag) +
     ",total_time,cost,io_time,num_instances,fs_requests,fs_bytes,"
     "sim_events,outcome,retries,timeouts,failed_requests,stalled_time,"
-    "fault_events_cancelled,crc32c";
-constexpr std::size_t kColumns = 14;  // payload cells, excluding the frame
+    "fault_events_cancelled,preemptions,restarts,lost_sim_time,"
+    "checkpoint_bytes,crc32c";
+constexpr std::size_t kColumns = 18;  // payload cells, excluding the frame
 
 std::vector<std::string> split_row(const std::string& line) {
   std::vector<std::string> cells;
@@ -111,13 +112,18 @@ bool parse_row(const std::string& line, RunKey& key, io::RunResult& r) {
       !parse_u64(cells[10], r.timeouts) ||
       !parse_u64(cells[11], r.failed_requests) ||
       !parse_double(cells[12], r.stalled_time) ||
-      !parse_u64(cells[13], r.fault_events_cancelled)) {
+      !parse_u64(cells[13], r.fault_events_cancelled) ||
+      !parse_u64(cells[14], r.preemptions) ||
+      !parse_u64(cells[15], r.restarts) ||
+      !parse_double(cells[16], r.lost_sim_time) ||
+      !parse_double(cells[17], r.checkpoint_bytes)) {
     return false;
   }
   r.num_instances = static_cast<int>(instances);
   if (!std::isfinite(r.total_time) || !std::isfinite(r.cost) ||
       !std::isfinite(r.io_time) || !std::isfinite(r.fs_bytes) ||
-      !std::isfinite(r.stalled_time) || r.total_time < 0.0) {
+      !std::isfinite(r.stalled_time) || !std::isfinite(r.lost_sim_time) ||
+      !std::isfinite(r.checkpoint_bytes) || r.total_time < 0.0) {
     return false;
   }
   // A row claiming a usable grade must carry a believable measurement;
@@ -130,17 +136,21 @@ bool parse_row(const std::string& line, RunKey& key, io::RunResult& r) {
 }
 
 std::string format_row(const RunKey& key, const io::RunResult& r) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "%s,%.17g,%.17g,%.17g,%d,%llu,%.17g,%llu,%s,%llu,%llu,%llu,%.17g,%llu",
+      "%s,%.17g,%.17g,%.17g,%d,%llu,%.17g,%llu,%s,%llu,%llu,%llu,%.17g,%llu,"
+      "%llu,%llu,%.17g,%.17g",
       key.hex().c_str(), r.total_time, r.cost, r.io_time, r.num_instances,
       static_cast<unsigned long long>(r.fs_requests), r.fs_bytes,
       static_cast<unsigned long long>(r.sim_events), io::to_string(r.outcome),
       static_cast<unsigned long long>(r.retries),
       static_cast<unsigned long long>(r.timeouts),
       static_cast<unsigned long long>(r.failed_requests), r.stalled_time,
-      static_cast<unsigned long long>(r.fault_events_cancelled));
+      static_cast<unsigned long long>(r.fault_events_cancelled),
+      static_cast<unsigned long long>(r.preemptions),
+      static_cast<unsigned long long>(r.restarts), r.lost_sim_time,
+      r.checkpoint_bytes);
   return buf;
 }
 

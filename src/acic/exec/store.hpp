@@ -158,8 +158,9 @@ class RunStore {
   static std::string frame(const std::string& payload);
 
   /// First header cell of runs.csv; bump together with the record
-  /// schema (v2 added the CRC frame cell).
-  static constexpr const char* kVersionTag = "acic_exec_store_v2";
+  /// schema (v2 added the CRC frame cell; v3 the preemption/checkpoint
+  /// columns).
+  static constexpr const char* kVersionTag = "acic_exec_store_v3";
   static constexpr const char* kLockFileName = ".store.lock";
 
  private:

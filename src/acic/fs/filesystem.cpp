@@ -1,5 +1,7 @@
 #include "acic/fs/filesystem.hpp"
 
+#include <algorithm>
+
 #include "acic/common/error.hpp"
 #include "acic/plugin/substrates.hpp"
 
@@ -21,12 +23,28 @@ sim::Task FileSystem::resilient_transfer(cloud::ClusterModel& cluster,
     co_return;
   }
   auto& sim = cluster.simulator();
+  // The request's overall deadline: max_attempts full windows from the
+  // first send.  Backoff sleeps are clamped to the remaining budget and
+  // the final attempt's window is shortened to whatever is left, so the
+  // request resolves — completed, or reported failed — no later than the
+  // deadline instead of backoff_cap seconds past it.
+  const SimTime deadline =
+      sim.now() +
+      retry_.request_timeout * static_cast<double>(retry_.max_attempts);
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    const SimTime window =
+        std::min(retry_.request_timeout, deadline - sim.now());
+    if (window <= 0.0) {
+      // A clamped backoff landed exactly on the deadline: report the
+      // timeout there rather than starting a zero-length attempt.
+      ++fault_stats_.timeouts;
+      ++fault_stats_.failed_requests;
+      co_return;
+    }
     bool completed = false;
     const SimTime started = sim.now();
     // The path is re-used across attempts, so pass a copy each time.
-    co_await cluster.network().transfer_within(path, bytes,
-                                               retry_.request_timeout,
+    co_await cluster.network().transfer_within(path, bytes, window,
                                                &completed);
     if (completed) co_return;
     ++fault_stats_.timeouts;
@@ -38,7 +56,8 @@ sim::Task FileSystem::resilient_transfer(cloud::ClusterModel& cluster,
       co_return;
     }
     ++fault_stats_.retries;
-    co_await sim.delay(backoff_delay(retry_, attempt, retry_rng_));
+    co_await sim.delay(backoff_delay(retry_, attempt, retry_rng_,
+                                     deadline - sim.now()));
   }
 }
 

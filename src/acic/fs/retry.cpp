@@ -12,7 +12,8 @@ bool RetryPolicy::valid() const {
          backoff_jitter < 1.0;
 }
 
-SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng) {
+SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng,
+                      SimTime budget) {
   double delay =
       policy.backoff_base *
       std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
@@ -20,6 +21,10 @@ SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng) {
   if (policy.backoff_jitter > 0.0) {
     delay *= 1.0 + policy.backoff_jitter * (2.0 * rng.uniform() - 1.0);
   }
+  // Deadline clamp: never sleep past the request's remaining budget (the
+  // jitter draw above already happened, so clamped and unclamped paths
+  // consume the same RNG stream).
+  delay = std::min(delay, std::max(budget, 0.0));
   return std::max(delay, 0.0);
 }
 

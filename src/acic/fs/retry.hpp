@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "acic/common/rng.hpp"
 #include "acic/common/units.hpp"
@@ -45,7 +46,12 @@ struct FaultStats {
 };
 
 /// Deterministic backoff delay for 0-based `attempt` (draws one uniform
-/// from `rng` when the policy jitters).
-SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng);
+/// from `rng` when the policy jitters).  The result is clamped to
+/// `budget` — the remaining time before the request's overall deadline —
+/// so a capped backoff can never push the next attempt past it.  The
+/// jitter draw happens before the clamp, keeping the RNG stream
+/// identical whether or not the clamp bites.
+SimTime backoff_delay(const RetryPolicy& policy, int attempt, Rng& rng,
+                      SimTime budget = std::numeric_limits<double>::infinity());
 
 }  // namespace acic::fs

@@ -58,8 +58,24 @@ RunResult run_workload(const Workload& workload,
     injector.inject_random(rng, faults, /*horizon=*/24.0 * kHour);
   }
 
+  // The checkpoint/restart manager exists only when it has work to do
+  // (periodic dumps armed, or preemptions that need recovery); clean
+  // runs keep the exact legacy spawn structure, so their event counts
+  // and cached results are untouched.
+  std::optional<CheckpointManager> checkpoints;
+  ACIC_CHECK_MSG(options.checkpoint.valid(), "invalid checkpoint policy");
+  if (options.checkpoint.enabled || faults.preemptions_per_hour > 0.0) {
+    checkpoints.emplace(cluster, *filesystem, injector, options.checkpoint,
+                        options.seed);
+    checkpoints->start(w.num_processes);
+  }
+
   for (int rank = 0; rank < w.num_processes; ++rank) {
-    simulator.spawn(middleware.run_rank(rank, w));
+    if (checkpoints) {
+      simulator.spawn(checkpoints->observe_rank(middleware.run_rank(rank, w)));
+    } else {
+      simulator.spawn(middleware.run_rank(rank, w));
+    }
   }
 
   RunResult result;
@@ -83,23 +99,40 @@ RunResult run_workload(const Workload& workload,
     }
   }
 
-  // Cancel unfired fault events *before* reading the event count, so a
-  // job that beats its outage windows is not billed for their restores.
+  // Wind down the fault machinery in dependency order: the checkpoint
+  // manager's ticks/restores first (they reference the injector), then
+  // the injector's own unfired events — both *before* reading the event
+  // count, so a job that beats its outage windows is not billed for
+  // their restores.
+  if (checkpoints) {
+    checkpoints->finish();
+    const CheckpointManager::Stats& cstats = checkpoints->stats();
+    result.preemptions = cstats.preemptions;
+    result.restarts = cstats.restarts;
+    result.lost_sim_time = cstats.lost_sim_time;
+    result.checkpoint_bytes = cstats.checkpoint_bytes;
+    if (cstats.gave_up) result.outcome = RunOutcome::kFailed;
+  }
   result.fault_events_cancelled = injector.cancel_pending();
 
   result.total_time = simulator.now();
   result.fs_requests = filesystem->requests_served();
   {
     // Pricing goes through the plugin registry; the RunOptions shim
-    // maps a present detailed_pricing onto the "detailed" plugin and
-    // everything else onto the paper's Eq. (1).
+    // maps a present spot_pricing onto the "spot" plugin, a present
+    // detailed_pricing onto the "detailed" plugin and everything else
+    // onto the paper's Eq. (1).
     plugin::PricingContext ctx;
     ctx.cluster = &cluster;
     ctx.duration = result.total_time;
     ctx.io_operations = result.fs_requests;
     ctx.detailed =
         options.detailed_pricing ? &*options.detailed_pricing : nullptr;
-    const char* pricing_name = options.detailed_pricing ? "detailed" : "eq1";
+    ctx.restarts = result.restarts;
+    ctx.spot = options.spot_pricing ? &*options.spot_pricing : nullptr;
+    const char* pricing_name = options.spot_pricing      ? "spot"
+                               : options.detailed_pricing ? "detailed"
+                                                          : "eq1";
     result.cost = plugin::pricings().lookup(pricing_name).cost(ctx);
   }
   result.io_time = middleware.io_time();
@@ -113,7 +146,8 @@ RunResult run_workload(const Workload& workload,
   result.failed_requests = fstats.failed_requests;
   result.stalled_time = fstats.stalled_time;
   if (result.outcome == RunOutcome::kOk &&
-      (result.timeouts > 0 || result.failed_requests > 0)) {
+      (result.timeouts > 0 || result.failed_requests > 0 ||
+       result.restarts > 0)) {
     result.outcome = RunOutcome::kDegraded;
   }
 
@@ -144,6 +178,35 @@ RunResult run_workload(const Workload& workload,
   if (result.fault_events_cancelled > 0) {
     registry.counter("io.fault_events_cancelled")
         .add(static_cast<double>(result.fault_events_cancelled));
+  }
+  if (result.preemptions > 0) {
+    registry.counter("io.preempt.preemptions")
+        .add(static_cast<double>(result.preemptions));
+  }
+  if (result.restarts > 0) {
+    registry.counter("io.preempt.restarts")
+        .add(static_cast<double>(result.restarts));
+  }
+  if (result.lost_sim_time > 0.0) {
+    registry.counter("io.preempt.lost_sim_time").add(result.lost_sim_time);
+  }
+  if (checkpoints && checkpoints->stats().gave_up) {
+    registry.counter("io.preempt.gave_up").inc();
+  }
+  if (checkpoints && checkpoints->stats().checkpoint_writes > 0) {
+    registry.counter("io.checkpoint.writes")
+        .add(static_cast<double>(checkpoints->stats().checkpoint_writes));
+  }
+  if (result.checkpoint_bytes > 0.0) {
+    registry.counter("io.checkpoint.bytes").add(result.checkpoint_bytes);
+  }
+  if (checkpoints && checkpoints->stats().urgent_checkpoints > 0) {
+    registry.counter("io.checkpoint.urgent")
+        .add(static_cast<double>(checkpoints->stats().urgent_checkpoints));
+  }
+  if (checkpoints && checkpoints->stats().restores > 0) {
+    registry.counter("io.checkpoint.restores")
+        .add(static_cast<double>(checkpoints->stats().restores));
   }
   if (result.outcome == RunOutcome::kDegraded) {
     registry.counter("io.runs_degraded").inc();

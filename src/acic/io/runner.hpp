@@ -13,6 +13,7 @@
 #include "acic/cloud/pricing.hpp"
 #include "acic/common/units.hpp"
 #include "acic/fs/filesystem.hpp"
+#include "acic/io/checkpoint.hpp"
 #include "acic/io/workload.hpp"
 #include "acic/profiler/tracer.hpp"
 
@@ -35,11 +36,20 @@ struct RunOptions {
   /// unchanged.
   SimTime watchdog_sim_time = 0.0;
   fs::FsTuning tuning = {};
+  /// Checkpoint/restart reaction: periodic dumps through the configured
+  /// file system plus seeded replacement-server recovery on preemption.
+  /// The recovery half also engages (restart-from-scratch) whenever the
+  /// fault model arms preemptions, even with checkpointing off.
+  CheckpointPolicy checkpoint;
   /// Optional logical-request tracer (the profiling tool's tap).
   profiler::IoTracer* tracer = nullptr;
   /// When set, `cost` includes EBS volume-hour and per-I/O surcharges
   /// instead of the paper's pure Eq. (1).
   std::optional<cloud::DetailedPricing> detailed_pricing;
+  /// When set, `cost` uses spot-market billing (discounted rate plus
+  /// per-restart reacquisition fees); takes precedence over
+  /// detailed_pricing.
+  std::optional<cloud::SpotPricing> spot_pricing;
 };
 
 /// How a run ended.  `degraded` means the job finished but the fault
@@ -71,6 +81,13 @@ struct RunResult {
   SimTime stalled_time = 0.0;
   /// Unfired fault suppress/restore events cancelled at job end.
   std::uint64_t fault_events_cancelled = 0;
+  /// Preemption/checkpoint accounting (all zero on a clean run).  A run
+  /// that restarted at least once is graded kDegraded even when it
+  /// finished; one that exhausted the restart budget is kFailed.
+  std::uint64_t preemptions = 0;     ///< spot reclaims observed
+  std::uint64_t restarts = 0;        ///< replacement servers acquired
+  SimTime lost_sim_time = 0.0;       ///< replayed work, seconds
+  Bytes checkpoint_bytes = 0.0;      ///< durable checkpoint dump bytes
 };
 
 /// Execute `workload` under `config`.  Deterministic for a given seed.

@@ -136,12 +136,17 @@ Registry<FaultModelPlugin>& fault_models();
 
 /// Everything a pricing model may charge for.  `detailed` carries the
 /// caller's DetailedPricing rates when one was supplied (the "detailed"
-/// plugin falls back to the 2013 defaults when it is null).
+/// plugin falls back to the 2013 defaults when it is null); `spot` and
+/// `restarts` feed the spot-market plugin's discount + reacquisition-fee
+/// terms the same way.
 struct PricingContext {
   const cloud::ClusterModel* cluster = nullptr;
   SimTime duration = 0.0;
   std::uint64_t io_operations = 0;
   const cloud::DetailedPricing* detailed = nullptr;
+  /// Replacement servers acquired after preemptions during the run.
+  std::uint64_t restarts = 0;
+  const cloud::SpotPricing* spot = nullptr;
 };
 
 struct PricingPlugin {

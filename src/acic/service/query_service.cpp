@@ -91,7 +91,10 @@ bool is_simulate_key(const std::string& key) {
   static const char* kKeys[] = {
       "seed",       "failures", "brownouts", "brownout_fraction",
       "stragglers", "straggler_factor", "correlated", "permanent",
-      "retry",      "timeout",  "attempts",  "watchdog",  "chaos"};
+      "retry",      "timeout",  "attempts",  "watchdog",  "chaos",
+      "preemptions", "notice",  "checkpoint", "checkpoint_interval",
+      "checkpoint_bytes", "max_restarts", "spot", "spot_factor",
+      "restart_cost"};
   for (const char* k : kKeys) {
     if (key == k) return true;
   }
@@ -457,12 +460,45 @@ std::string QueryService::handle_recommend(const Engine& engine,
     fallback_answers_->inc();
     return fallback_recommend(engine, objective, top_k);
   }
-  const auto recs = model->recommend(traits, top_k, candidates);
+  // Optional restart-aware ranking: chaos=<preset> (or an explicit
+  // preemptions= rate) arms a PreemptionModel, so the ranking trades raw
+  // bandwidth against checkpoint-dump and recovery economics under the
+  // given spot terms.
+  core::PreemptionModel preemption;
+  if (const auto chaos_it = kv.find("chaos"); chaos_it != kv.end()) {
+    preemption.preemptions_per_hour = plugin::fault_models()
+                                          .lookup(chaos_it->second)
+                                          .model.preemptions_per_hour;
+  }
+  if (const auto it = kv.find("preemptions"); it != kv.end()) {
+    preemption.preemptions_per_hour =
+        parse_nonneg_double("preemptions", it->second);
+  }
+  if (const auto it = kv.find("checkpoint_interval"); it != kv.end()) {
+    preemption.checkpoint_interval =
+        parse_nonneg_double("checkpoint_interval", it->second);
+  }
+  if (const auto it = kv.find("checkpoint_bytes"); it != kv.end()) {
+    preemption.checkpoint_bytes = parse_size(it->second);
+  }
+  if (const auto it = kv.find("spot_factor"); it != kv.end()) {
+    preemption.spot.price_factor =
+        parse_nonneg_double("spot_factor", it->second);
+  }
+  if (const auto it = kv.find("restart_cost"); it != kv.end()) {
+    preemption.spot.per_restart_cost =
+        parse_nonneg_double("restart_cost", it->second);
+  }
+  const auto recs =
+      preemption.active()
+          ? model->recommend(traits, preemption, top_k, candidates)
+          : model->recommend(traits, top_k, candidates);
   std::ostringstream os;
   os << "ok " << recs.size() << " recommendations (objective="
      << core::to_string(objective);
   if (learner_it != kv.end()) os << ", learner=" << learner;
   if (fs_it != kv.end()) os << ", fs=" << fs_it->second;
+  if (preemption.active()) os << ", preemption_adjusted=yes";
   os << ")\n";
   for (const auto& r : recs) {
     os << "  " << r.config.label() << " predicted_improvement="
@@ -624,8 +660,43 @@ std::string QueryService::handle_simulate(const std::string& line) {
   if (const auto* v = get("watchdog")) {
     opts.watchdog_sim_time = parse_nonneg_double("watchdog", *v);
   }
+  if (const auto* v = get("preemptions")) {
+    opts.fault_model.preemptions_per_hour =
+        parse_nonneg_double("preemptions", *v);
+  }
+  if (const auto* v = get("notice")) {
+    opts.fault_model.preemption_notice = parse_nonneg_double("notice", *v);
+  }
+  if (const auto* v = get("checkpoint")) {
+    opts.checkpoint.enabled = parse_bool(*v);
+  }
+  if (const auto* v = get("checkpoint_interval")) {
+    opts.checkpoint.interval =
+        parse_nonneg_double("checkpoint_interval", *v);
+  }
+  if (const auto* v = get("checkpoint_bytes")) {
+    opts.checkpoint.bytes = parse_size(*v);
+    // Naming a dump size is opting into the periodic dumps.
+    opts.checkpoint.enabled = true;
+  }
+  if (const auto* v = get("max_restarts")) {
+    opts.checkpoint.max_restarts = parse_int_field("max_restarts", *v);
+  }
+  if (const auto* v = get("spot")) {
+    if (parse_bool(*v)) opts.spot_pricing.emplace();
+  }
+  if (const auto* v = get("spot_factor")) {
+    if (!opts.spot_pricing) opts.spot_pricing.emplace();
+    opts.spot_pricing->price_factor = parse_nonneg_double("spot_factor", *v);
+  }
+  if (const auto* v = get("restart_cost")) {
+    if (!opts.spot_pricing) opts.spot_pricing.emplace();
+    opts.spot_pricing->per_restart_cost =
+        parse_nonneg_double("restart_cost", *v);
+  }
   ACIC_CHECK_MSG(opts.fault_model.valid(), "invalid fault model");
   ACIC_CHECK_MSG(opts.tuning.retry.valid(), "invalid retry policy");
+  ACIC_CHECK_MSG(opts.checkpoint.valid(), "invalid checkpoint policy");
 
   // Through the engine: a simulate verb repeated with identical
   // parameters — or one matching a run a training sweep already did —
@@ -637,7 +708,10 @@ std::string QueryService::handle_simulate(const std::string& line) {
      << " outcome=" << io::to_string(r.outcome) << " retries=" << r.retries
      << " timeouts=" << r.timeouts << " failed_requests="
      << r.failed_requests << " cancelled_fault_events="
-     << r.fault_events_cancelled << " sim_events=" << r.sim_events << "\n";
+     << r.fault_events_cancelled << " preemptions=" << r.preemptions
+     << " restarts=" << r.restarts << " lost_time=" << r.lost_sim_time
+     << " checkpoint_bytes=" << r.checkpoint_bytes
+     << " sim_events=" << r.sim_events << "\n";
   return os.str();
 }
 
@@ -723,7 +797,9 @@ std::string QueryService::help_text() {
   return
       "ok commands\n"
       "  recommend objective=performance|cost top_k=N [learner=<name>]\n"
-      "            [fs=<name>] <workload keys>\n"
+      "            [fs=<name>] [chaos=<preset>|preemptions=R\n"
+      "            checkpoint_interval=S checkpoint_bytes=SZ spot_factor=F\n"
+      "            restart_cost=$] <workload keys>\n"
       "  predict config=<label> objective=... [learner=<name>]\n"
       "          <workload keys>\n"
       "  rank [top=N] [model=yes objective=... <workload keys>]\n"
@@ -735,9 +811,14 @@ std::string QueryService::help_text() {
       "  workload keys: np io_procs interface iterations data request op\n"
       "                 collective shared (sizes like 4MiB, 256KiB)\n"
       "  chaos keys: seed failures brownouts brownout_fraction stragglers\n"
-      "              straggler_factor correlated permanent retry timeout\n"
-      "              attempts watchdog (rates per hour; retry=yes arms\n"
-      "              deadline/backoff; seeded runs are reproducible)\n"
+      "              straggler_factor correlated permanent preemptions\n"
+      "              notice retry timeout attempts watchdog checkpoint\n"
+      "              checkpoint_interval checkpoint_bytes max_restarts\n"
+      "              spot spot_factor restart_cost (rates per hour;\n"
+      "              retry=yes arms deadline/backoff; checkpoint=yes or a\n"
+      "              checkpoint_bytes size arms periodic dumps; spot=yes\n"
+      "              bills at the spot discount plus per-restart fees;\n"
+      "              seeded runs are reproducible)\n"
       "  learner/fs/chaos names resolve through the plugin registry;\n"
       "  unknown names answer with the registered list\n";
 }

@@ -424,6 +424,138 @@ TEST(FailureInjectorTest, OverlappingFaultsRestoreExactJitteredCapacity) {
   EXPECT_EQ(cluster.network().capacity(nic), orig_nic);
 }
 
+TEST(FaultModelTest, AnyCoversEveryRateIncludingPreemptions) {
+  FaultModel m;
+  EXPECT_FALSE(m.any());  // the all-zero default is injector-free
+  m.preemptions_per_hour = 1.0;
+  EXPECT_TRUE(m.any());
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(FaultModelTest, ValidityRules) {
+  FaultModel m;
+  EXPECT_TRUE(m.valid());
+  // Outage-shaping probabilities without an outage rate are config
+  // errors, not silent no-ops.
+  m.correlated_outage_probability = 0.5;
+  EXPECT_FALSE(m.valid());
+  m = {};
+  m.permanent_loss_probability = 0.5;
+  EXPECT_FALSE(m.valid());
+  m = {};
+  m.outages_per_hour = 1.0;
+  m.correlated_outage_probability = 0.5;
+  m.permanent_loss_probability = 0.5;
+  EXPECT_TRUE(m.valid());
+  m = {};
+  m.preemptions_per_hour = -1.0;
+  EXPECT_FALSE(m.valid());
+  m = {};
+  m.preemptions_per_hour = 2.0;
+  m.preemption_notice = -1.0;
+  EXPECT_FALSE(m.valid());
+}
+
+// A preemption takes the whole server — NIC and device — after the
+// notice window, and the notice hook fires first with the scheduled
+// reclaim time so checkpoint managers can react.
+TEST(FailureInjectorTest, PreemptionTakesWholeServerUntilRestored) {
+  sim::Simulator s;
+  auto o = opts(16, chaos_config());
+  o.jitter_sigma = 0.08;  // exact-restore check needs jittered originals
+  o.seed = 3;
+  ClusterModel cluster(s, o);
+  const auto dev_w = cluster.device_write_resource(0);
+  const auto nic = cluster.nic_tx(cluster.instance_of_server(0));
+  const double orig_dev = cluster.network().capacity(dev_w);
+  const double orig_nic = cluster.network().capacity(nic);
+
+  FailureInjector inj(cluster);
+  SimTime notice_at = -1.0, notice_reclaim_at = -1.0, reclaimed_at = -1.0;
+  PreemptionHooks hooks;
+  hooks.on_notice = [&](int server, SimTime reclaim_at) {
+    EXPECT_EQ(server, 0);
+    notice_at = s.now();
+    notice_reclaim_at = reclaim_at;
+  };
+  hooks.on_reclaim = [&](int server) {
+    EXPECT_EQ(server, 0);
+    reclaimed_at = s.now();
+  };
+  inj.set_preemption_hooks(std::move(hooks));
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kPreemption;
+  spec.server = 0;
+  spec.at = 1.0;
+  spec.notice = 2.0;
+  inj.inject(spec);
+
+  s.run_until(4.0);
+  EXPECT_DOUBLE_EQ(notice_at, 1.0);
+  EXPECT_DOUBLE_EQ(notice_reclaim_at, 3.0);
+  EXPECT_DOUBLE_EQ(reclaimed_at, 3.0);
+  // The whole server is dark: device and NIC.
+  EXPECT_DOUBLE_EQ(cluster.network().capacity(dev_w), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.network().capacity(nic), 0.0);
+
+  // A replacement comes online: exact jittered originals return.
+  inj.restore_server(0);
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig_dev);
+  EXPECT_EQ(cluster.network().capacity(nic), orig_nic);
+  // Restoring a server that is not preempted is harmless.
+  inj.restore_server(0);
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig_dev);
+}
+
+// Without restore_server() a preemption behaves like a whole-server
+// permanent loss: in-flight transfers stall forever.
+TEST(FailureInjectorTest, PreemptionWithoutRestoreStallsForever) {
+  sim::Simulator s;
+  ClusterModel cluster(s, opts(16, chaos_config()));
+  FailureInjector inj(cluster);
+  bool completed = false;
+  cluster.network().start_flow(cluster.write_path(0, 0), 100.0 * MiB,
+                               [&] { completed = true; });
+  FaultSpec spec;
+  spec.kind = FaultKind::kPreemption;
+  spec.server = 0;
+  spec.at = 0.01;
+  spec.notice = 0.05;  // reclaim lands well before the transfer finishes
+  inj.inject(spec);
+  s.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(cluster.network().active_flows(), 1u);
+}
+
+// cancel_pending() force-restores a reclaimed server, and a straggling
+// restore_server() afterwards (e.g. a replacement acquired just as the
+// job finished) must not double-restore.
+TEST(FailureInjectorTest, LateRestoreAfterCancelPendingIsANoOp) {
+  sim::Simulator s;
+  auto o = opts(16, chaos_config());
+  o.jitter_sigma = 0.08;
+  o.seed = 11;
+  ClusterModel cluster(s, o);
+  const auto dev_w = cluster.device_write_resource(0);
+  const double orig = cluster.network().capacity(dev_w);
+
+  FailureInjector inj(cluster);
+  FaultSpec spec;
+  spec.kind = FaultKind::kPreemption;
+  spec.server = 0;
+  spec.at = 1.0;
+  spec.notice = 1.0;
+  inj.inject(spec);
+  s.run_until(3.0);
+  EXPECT_DOUBLE_EQ(cluster.network().capacity(dev_w), 0.0);
+
+  inj.cancel_pending();
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig);
+  inj.restore_server(0);
+  EXPECT_EQ(cluster.network().capacity(dev_w), orig);
+}
+
 TEST(FailureInjectorTest, CancelPendingRestoresAndSilencesTheSchedule) {
   sim::Simulator s;
   auto o = opts(16, chaos_config());

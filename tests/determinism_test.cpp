@@ -63,6 +63,11 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.failed_requests, b.failed_requests);
   EXPECT_EQ(a.stalled_time, b.stalled_time);
   EXPECT_EQ(a.fault_events_cancelled, b.fault_events_cancelled);
+  // ...and the preemption/checkpoint accounting.
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.lost_sim_time, b.lost_sim_time);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
 }
 
 TEST(DeterminismTest, IdenticalRunsAreBitIdenticalOnNfs) {
@@ -112,6 +117,36 @@ TEST(DeterminismTest, SeededChaosRunsReplayBitIdentical) {
   // Non-vacuity: the 24 h fault schedule extends far past the job, so
   // cancel_pending() must have had events to cancel.
   EXPECT_GT(first.fault_events_cancelled, 0u);
+}
+
+// Preemption chaos with checkpoint/restart armed: reclamation schedule,
+// urgent dumps, replacement-server delays and work replay all come from
+// seeded streams, so a preempted run must replay bit-for-bit too — the
+// executor caches these graded outcomes.
+TEST(DeterminismTest, SeededPreemptionRunsReplayBitIdentical) {
+  // A longer job than the probe's: seed 9's reclamations land mid-run
+  // and recover (twice), so both replays exercise the notice dump, the
+  // seeded replacement delay and the lost-work replay.
+  Workload w = probe_workload();
+  w.data_size = 256.0 * MiB;
+  RunOptions options;
+  options.seed = 9;
+  options.jitter_sigma = 0.06;
+  options.fault_model.preemptions_per_hour = 120.0;
+  options.fault_model.preemption_notice = 5.0;
+  options.checkpoint.enabled = true;
+  options.checkpoint.interval = 10.0;
+  options.checkpoint.bytes = 4.0 * MiB;
+  options.checkpoint.replacement_delay_min = 2.0;
+  options.checkpoint.replacement_delay_max = 8.0;
+  options.watchdog_sim_time = 4.0 * kHour;
+  options.spot_pricing.emplace();
+  const RunResult first = run_workload(w, pvfs_config(), options);
+  const RunResult second = run_workload(w, pvfs_config(), options);
+  expect_bit_identical(first, second);
+  // Non-vacuity: this seed's schedule must actually preempt the job.
+  EXPECT_GT(first.preemptions, 0u);
+  EXPECT_GT(first.restarts, 0u);
 }
 
 TEST(DeterminismTest, SeedChangesTheOutcome) {

@@ -264,6 +264,52 @@ TEST(ExecutorCacheTest, RealSimulatorColdVsWarmIsBitIdentical) {
   EXPECT_EQ(a.sim_events, b.sim_events);
 }
 
+// A preempted-then-recovered run is a legitimate cacheable outcome: the
+// warm hit must replay the degraded grade and the full restart
+// provenance byte-identically, never surface as a clean timing.
+TEST(ExecutorCacheTest, PreemptedRunReplaysGradedOutcomeFromCache) {
+  exec::Executor engine;
+  io::Workload w = test_workload();
+  w.iterations = 4;
+  w.data_size = 512.0 * MiB;  // long enough for reclaims to land mid-run
+  cloud::IoConfig pvfs;
+  pvfs.fs = cloud::FileSystemType::kPvfs2;
+  pvfs.device = storage::DeviceType::kEphemeral;
+  pvfs.io_servers = 4;
+  pvfs.placement = cloud::Placement::kDedicated;
+  pvfs.stripe_size = 1.0 * MiB;
+  io::RunOptions opts;
+  opts.seed = 6;  // this schedule preempts and recovers within budget
+  opts.fault_model.preemptions_per_hour = 60.0;
+  opts.fault_model.preemption_notice = 10.0;
+  opts.checkpoint.enabled = true;
+  opts.checkpoint.interval = 15.0;
+  opts.checkpoint.bytes = 8.0 * MiB;
+  opts.checkpoint.replacement_delay_min = 5.0;
+  opts.checkpoint.replacement_delay_max = 20.0;
+  opts.watchdog_sim_time = 4.0 * kHour;
+  opts.spot_pricing.emplace();
+
+  exec::RunInfo cold_info;
+  exec::RunInfo warm_info;
+  const exec::RunRequest req{w, pvfs, opts};
+  const auto cold = engine.run(req, &cold_info);
+  const auto warm = engine.run(req, &warm_info);
+  EXPECT_EQ(cold_info.source, exec::RunSource::kExecuted);
+  EXPECT_EQ(warm_info.source, exec::RunSource::kMemo);
+  // The run must really have been preempted and recovered, else the
+  // replay assertions below are vacuous.
+  ASSERT_EQ(cold.outcome, io::RunOutcome::kDegraded);
+  ASSERT_GT(cold.restarts, 0u);
+  EXPECT_EQ(warm.outcome, cold.outcome);
+  EXPECT_EQ(warm.total_time, cold.total_time);
+  EXPECT_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(warm.preemptions, cold.preemptions);
+  EXPECT_EQ(warm.restarts, cold.restarts);
+  EXPECT_EQ(warm.lost_sim_time, cold.lost_sim_time);
+  EXPECT_EQ(warm.checkpoint_bytes, cold.checkpoint_bytes);
+}
+
 TEST(ExecutorCacheTest, FailedRunsAreCachedAsFailures) {
   exec::ExecutorOptions o;
   std::atomic<int> executions{0};
@@ -369,6 +415,10 @@ io::RunResult sample_result() {
   r.failed_requests = 2;
   r.stalled_time = 6.25;
   r.fault_events_cancelled = 4;
+  r.preemptions = 6;
+  r.restarts = 5;
+  r.lost_sim_time = 78.9012345678901234;
+  r.checkpoint_bytes = 3.5 * GiB;
   return r;
 }
 
@@ -401,6 +451,10 @@ TEST(RunStoreTest, RoundTripsEveryFieldExactly) {
   EXPECT_EQ(got->failed_requests, put.failed_requests);
   EXPECT_EQ(got->stalled_time, put.stalled_time);
   EXPECT_EQ(got->fault_events_cancelled, put.fault_events_cancelled);
+  EXPECT_EQ(got->preemptions, put.preemptions);
+  EXPECT_EQ(got->restarts, put.restarts);
+  EXPECT_EQ(got->lost_sim_time, put.lost_sim_time);
+  EXPECT_EQ(got->checkpoint_bytes, put.checkpoint_bytes);
 }
 
 TEST(RunStoreTest, CorruptRowsAreQuarantinedNotServed) {

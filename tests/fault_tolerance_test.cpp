@@ -4,7 +4,10 @@
 // be survivable with retries / watchdog-graded without them.
 #include <gtest/gtest.h>
 
+#include "acic/cloud/cluster.hpp"
+#include "acic/cloud/failure.hpp"
 #include "acic/cloud/ioconfig.hpp"
+#include "acic/fs/filesystem.hpp"
 #include "acic/io/runner.hpp"
 #include "acic/io/workload.hpp"
 
@@ -138,6 +141,88 @@ TEST(FaultToleranceTest, OutcomeToStringIsStable) {
   EXPECT_STREQ(to_string(RunOutcome::kOk), "ok");
   EXPECT_STREQ(to_string(RunOutcome::kDegraded), "degraded");
   EXPECT_STREQ(to_string(RunOutcome::kFailed), "failed");
+}
+
+// --- Retry deadline semantics ----------------------------------------
+//
+// The overall request deadline is max_attempts full timeout windows from
+// the first send; backoff sleeps must be clamped to the remaining budget
+// so a capped backoff can never push the request past it.
+
+TEST(RetryDeadlineTest, BackoffDelayHonoursBudgetClamp) {
+  fs::RetryPolicy p;
+  p.enabled = true;
+  p.backoff_base = 4.0;
+  p.backoff_multiplier = 2.0;
+  p.backoff_cap = 8.0;
+  p.backoff_jitter = 0.0;
+  Rng rng(1);
+  // Unclamped growth: base, base*2, then the cap.
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 0, rng), 4.0);
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 1, rng), 8.0);
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 2, rng), 8.0);
+  // The budget clamp bites, down to (and never past) zero.
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 1, rng, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 1, rng, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fs::backoff_delay(p, 1, rng, -5.0), 0.0);
+}
+
+TEST(RetryDeadlineTest, JitterDrawPrecedesTheClamp) {
+  // The uniform draw happens before the clamp, so clamped and unclamped
+  // calls consume the same RNG stream — a replay with a different budget
+  // cannot shift every later jitter decision.
+  fs::RetryPolicy p;
+  p.enabled = true;
+  p.backoff_base = 4.0;
+  p.backoff_jitter = 0.25;
+  Rng clamped(42), unclamped(42);
+  fs::backoff_delay(p, 0, clamped, 0.001);
+  fs::backoff_delay(p, 0, unclamped);
+  EXPECT_EQ(clamped.uniform(), unclamped.uniform());
+}
+
+// The satellite regression: a deadline landing mid-backoff.  With
+// timeout=5, attempts=3, base=4, cap=8 against a permanently lost
+// server, the attempts time out at t=5 and t=14; the second backoff
+// (8 s) would land at t=22 and the request would not resolve until 27 —
+// well past the 15 s budget.  The clamp cuts that sleep to 1 s and the
+// zero-width third window reports the failure at t=15 exactly.
+TEST(RetryDeadlineTest, DeadlineLandingMidBackoffResolvesAtDeadline) {
+  sim::Simulator s;
+  cloud::ClusterModel::Options copts;
+  copts.num_processes = 16;
+  copts.config = pvfs4();
+  copts.config.io_servers = 1;
+  copts.jitter_sigma = 0.0;
+  cloud::ClusterModel cluster(s, copts);
+  cloud::FailureInjector inj(cluster);
+  cloud::FaultSpec loss;
+  loss.kind = cloud::FaultKind::kPermanentLoss;
+  loss.server = 0;
+  loss.at = 0.01;
+  inj.inject(loss);
+
+  fs::FsTuning tuning;
+  tuning.retry.enabled = true;
+  tuning.retry.request_timeout = 5.0;
+  tuning.retry.max_attempts = 3;
+  tuning.retry.backoff_base = 4.0;
+  tuning.retry.backoff_multiplier = 2.0;
+  tuning.retry.backoff_cap = 8.0;
+  tuning.retry.backoff_jitter = 0.0;
+  auto filesystem = fs::make_filesystem(cluster, tuning);
+  s.spawn(filesystem->request(/*rank=*/0, 64.0 * MiB, /*is_write=*/true,
+                              /*shared_file=*/false));
+  s.run();
+
+  const auto& stats = filesystem->fault_stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.timeouts, stats.retries + stats.failed_requests);
+  // Resolution lands at the 15 s deadline (plus sub-second software
+  // overhead before the transfer started), never at 27 s.
+  EXPECT_GE(s.now(), 15.0);
+  EXPECT_LT(s.now(), 16.0);
 }
 
 }  // namespace

@@ -110,7 +110,7 @@ TEST(PluginRegistryTest, SeedSubstratesAreRegistered) {
       "brownouts", "lossy-az", "none", "outages", "spot-preempt",
       "stragglers"};
   EXPECT_EQ(fault_models().names(), fault_want);
-  const std::vector<std::string> pricing_want = {"detailed", "eq1"};
+  const std::vector<std::string> pricing_want = {"detailed", "eq1", "spot"};
   EXPECT_EQ(pricings().names(), pricing_want);
 }
 
@@ -149,7 +149,7 @@ TEST(PluginRegistryTest, InventoryIsKindMajorAndNameSorted) {
   EXPECT_EQ(inv.front().kind, Kind::kFilesystem);
   EXPECT_EQ(inv.front().name, "lustre");
   EXPECT_EQ(inv.back().kind, Kind::kPricing);
-  EXPECT_EQ(inv.back().name, "eq1");
+  EXPECT_EQ(inv.back().name, "spot");
   for (std::size_t i = 1; i < inv.size(); ++i) {
     if (inv[i - 1].kind == inv[i].kind) {
       EXPECT_LT(inv[i - 1].name, inv[i].name);

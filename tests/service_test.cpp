@@ -545,6 +545,41 @@ TEST(ServiceDegradation, ConcurrentSheddingIsCleanAndGaugeDrains) {
   EXPECT_EQ(svc.in_flight(), 0u);
 }
 
+// --- Preemption / checkpoint / spot knobs ----------------------------
+
+TEST(ServiceDegradation, SimulateVerbRunsPreemptionChaos) {
+  auto svc = make_service();
+  const std::string query =
+      "simulate config=pvfs.4.D.eph.4M np=16 io_procs=16 data=32MiB "
+      "request=1MiB op=write iterations=4 seed=3 preemptions=240 notice=5 "
+      "checkpoint_interval=15 checkpoint_bytes=8MiB spot=yes";
+  const auto resp = svc.handle(query);
+  EXPECT_EQ(resp.rfind("ok time=", 0), 0u) << resp;
+  EXPECT_NE(resp.find("preemptions="), std::string::npos) << resp;
+  EXPECT_NE(resp.find("restarts="), std::string::npos) << resp;
+  EXPECT_NE(resp.find("lost_time="), std::string::npos) << resp;
+  EXPECT_NE(resp.find("checkpoint_bytes="), std::string::npos) << resp;
+  // Same seed, same reclamation schedule: reproducible.
+  EXPECT_EQ(resp, svc.handle(query));
+  // An invalid checkpoint policy is a typed error, not a crash.
+  const auto bad = svc.handle(
+      "simulate config=nfs.D.ebs checkpoint_interval=0 checkpoint_bytes=1MiB");
+  EXPECT_EQ(bad.rfind("error", 0), 0u) << bad;
+}
+
+TEST(QueryServiceTest, RecommendAdjustsForPreemptions) {
+  auto svc = make_service();
+  const auto plain = svc.handle(
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write");
+  EXPECT_EQ(plain.rfind("ok", 0), 0u) << plain;
+  EXPECT_EQ(plain.find("preemption_adjusted"), std::string::npos) << plain;
+  const auto spot = svc.handle(
+      "recommend objective=performance top_k=2 np=64 data=4MiB op=write "
+      "chaos=spot-preempt checkpoint_bytes=1GiB checkpoint_interval=300");
+  EXPECT_EQ(spot.rfind("ok", 0), 0u) << spot;
+  EXPECT_NE(spot.find("preemption_adjusted=yes"), std::string::npos) << spot;
+}
+
 // --- Plugin-registry protocol surface --------------------------------
 
 TEST(QueryServiceTest, UnknownPluginNamesAreTypedErrorsListingWhatExists) {

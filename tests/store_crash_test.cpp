@@ -390,12 +390,12 @@ TEST(RunStoreRecovery, OverflowingCounterCellIsQuarantined) {
                       std::ios::app | std::ios::binary);
     out << exec::RunStore::frame(std::string(32, 'a') + ",1,1,1,1," +
                                  std::string(21, '9') +
-                                 ",1,1,ok,0,0,0,0,0")
+                                 ",1,1,ok,0,0,0,0,0,0,0,0,0")
         << "\n";
     // UINT64_MAX itself (20 digits) must still round-trip.
     out << exec::RunStore::frame(std::string(32, 'b') +
                                  ",1,1,1,1,18446744073709551615,1,1,ok,"
-                                 "0,0,0,0,0")
+                                 "0,0,0,0,0,0,0,0,0")
         << "\n";
   }
   exec::RunStore store(dir.str());
